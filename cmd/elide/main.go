@@ -1,0 +1,84 @@
+// Command elide runs a single configurable benchmark point and prints its
+// statistics — the workhorse for exploring the parameter space by hand:
+//
+//	elide -scheme hle-scm -lock mcs -size 1024 -mix 10,10 -threads 8
+//	elide -scheme opt-slr -lock ttas -structure hashtable -smt
+//	elide -scheme hle -lock mcs -abort-breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"elision/internal/harness"
+	"elision/internal/htm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	threads := flag.Int("threads", 8, "simulated hardware threads")
+	schemeName := flag.String("scheme", "hle", "scheme: standard|hle|hle-retries|hle-scm|opt-slr|slr-scm|hle-scm-grouped|slr-scm-grouped|nolock")
+	lockName := flag.String("lock", "ttas", "lock: ttas|ttas-backoff|mcs|ticket-hle|clh-hle")
+	structure := flag.String("structure", "rbtree", "data structure: rbtree|hashtable")
+	size := flag.Int("size", 1024, "steady-state element count")
+	mixFlag := flag.String("mix", "10,10", "insertPct,deletePct (rest lookups)")
+	budget := flag.Uint64("budget", 2_000_000, "virtual-cycle budget per thread")
+	seed := flag.Uint64("seed", 42, "random seed")
+	smt := flag.Bool("smt", false, "4-core/8-hyperthread topology")
+	breakdown := flag.Bool("abort-breakdown", false, "print the abort-cause histogram")
+	flag.Parse()
+
+	var mix harness.Mix
+	if _, err := fmt.Sscanf(strings.ReplaceAll(*mixFlag, ",", " "), "%d %d", &mix.InsertPct, &mix.DeletePct); err != nil {
+		return fmt.Errorf("elide: bad -mix %q: %w", *mixFlag, err)
+	}
+	st := harness.StructTree
+	if *structure == "hashtable" {
+		st = harness.StructHash
+	} else if *structure != "rbtree" {
+		return fmt.Errorf("elide: unknown -structure %q", *structure)
+	}
+	cfg := harness.DSConfig{
+		Structure:    st,
+		Threads:      *threads,
+		Size:         *size,
+		Mix:          mix,
+		Scheme:       harness.SchemeID(*schemeName),
+		Lock:         harness.LockID(*lockName),
+		BudgetCycles: *budget,
+		Seed:         *seed,
+		Quantum:      128,
+	}
+	if *smt {
+		cfg.Cores = 4
+	}
+	res := harness.RunDataStructure(cfg)
+	s := res.Stats
+
+	fmt.Printf("%s over %s, %d threads, size %d, %s, %d cycles\n",
+		*schemeName, *lockName, *threads, *size, mix.Name(), res.Cycles)
+	fmt.Printf("  operations        %d (%.1f per Mcycle)\n", s.Ops, res.Throughput())
+	fmt.Printf("  speculative       %d (%.1f%%)\n", s.Spec, 100*(1-s.NonSpecFraction()))
+	fmt.Printf("  non-speculative   %d\n", s.NonSpec)
+	fmt.Printf("  aborts            %d (%.2f attempts/op)\n", s.Aborts, s.AttemptsPerOp())
+	if s.AuxAcquires > 0 {
+		fmt.Printf("  serializing path  %d entries\n", s.AuxAcquires)
+	}
+	if *breakdown {
+		fmt.Println("  final-abort causes:")
+		for c := htm.Cause(0); int(c) < htm.NumCauses; c++ {
+			if n := s.ByCause[c]; n > 0 {
+				fmt.Printf("    %-12s %d\n", c, n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command lemming reproduces §4's analysis of the lemming effect:
+//
+//	lemming -fig 2   # attempts/op and non-speculative fraction vs tree size
+//	lemming -fig 3   # per-time-slot throughput and serialization dynamics
+//
+// Use -quick for a fast small sweep, -csv for machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elision/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.Int("fig", 2, "figure to reproduce (2 or 3)")
+	quick := flag.Bool("quick", false, "small fast sweep instead of the full one")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	budget := flag.Uint64("budget", 0, "virtual-cycle budget per thread (0 = scale default)")
+	timeline := flag.Bool("timeline", false, "render ASCII abort/lock timelines around the lemming trigger")
+	flag.Parse()
+
+	if *timeline {
+		sc := harness.DefaultScale()
+		sc.Budget = 300_000
+		for _, lock := range []harness.LockID{harness.LockTTAS, harness.LockMCS} {
+			fmt.Println(harness.LemmingTimeline(sc, lock))
+		}
+		return nil
+	}
+
+	sc := harness.DefaultScale()
+	if *quick {
+		sc = harness.TestScale()
+	}
+	if *budget > 0 {
+		sc.Budget = *budget
+	}
+	r := harness.NewRunner()
+	r.Progress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%d/%d points", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
+	var tables []harness.Table
+	switch *fig {
+	case 2:
+		tables = harness.Figure2(r, sc)
+	case 3:
+		tables = harness.Figure3(r, sc)
+	default:
+		return fmt.Errorf("lemming: -fig must be 2 or 3, got %d", *fig)
+	}
+	for i := range tables {
+		if *csv {
+			tables[i].RenderCSV(os.Stdout)
+		} else {
+			tables[i].Render(os.Stdout)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Command rbbench reproduces §7.1's data-structure benchmarks and the
+// repository's extension experiments:
+//
+//	rbbench -fig 4         # HLE speedup vs standard lock, three mixes
+//	rbbench -fig 9         # thread scaling on a 128-node tree, six schemes
+//	rbbench -fig 10        # software schemes' speedup over plain HLE
+//	rbbench -fig 0         # the §7.1 hash-table comparison
+//	rbbench -analysis      # attempts/op + speculative fraction (the
+//	                       # analysis §7.1 defers to the tech report)
+//	rbbench -fig 9 -smt    # Figure 9 on the paper's 4-core/8-HT topology
+//	rbbench -groups        # grouped-SCM ablation (§6 Remark / §8)
+//	rbbench -fine          # coarse-vs-fine-grained elision comparison
+//	rbbench -fairness      # fair-lock fairness under each scheme
+//
+// Use -quick for a fast small sweep, -csv for machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elision/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.Int("fig", 9, "figure to reproduce (4, 9, 10, or 0 for the hash table)")
+	quick := flag.Bool("quick", false, "small fast sweep instead of the full one")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	budget := flag.Uint64("budget", 0, "virtual-cycle budget per thread (0 = scale default)")
+	smt := flag.Bool("smt", false, "run under the 4-core/8-hyperthread topology")
+	analysis := flag.Bool("analysis", false, "emit the deferred attempts/speculation analysis instead of a figure")
+	groups := flag.Bool("groups", false, "emit the grouped-SCM ablation instead of a figure")
+	fine := flag.Bool("fine", false, "emit the fine-grained (PARSEC observation) comparison instead of a figure")
+	fairness := flag.Bool("fairness", false, "emit the fair-lock fairness comparison instead of a figure")
+	sensitivity := flag.Bool("sensitivity", false, "emit the cost-model miss:hit sensitivity sweep instead of a figure")
+	fairlocks := flag.Bool("fairlocks", false, "emit the ticket/CLH lemming verification instead of a figure")
+	flag.Parse()
+
+	sc := harness.DefaultScale()
+	if *quick {
+		sc = harness.TestScale()
+	}
+	if *budget > 0 {
+		sc.Budget = *budget
+	}
+	r := harness.NewRunner()
+	r.Progress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%d/%d points", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
+	var tables []harness.Table
+	switch {
+	case *fairlocks:
+		tables = harness.FairLockLemming(r, sc)
+	case *sensitivity:
+		tables = harness.CostSensitivity(sc)
+	case *fairness:
+		tables = harness.FairnessComparison(sc)
+	case *fine:
+		tables = harness.FineGrainedComparison(sc)
+	case *analysis:
+		tables = harness.AnalysisTables(r, sc)
+	case *groups:
+		tables = harness.GroupedSCMAblation(r, sc)
+	case *fig == 9 && *smt:
+		tables = harness.SMTFigure9(r, sc, 4)
+	case *fig == 4:
+		tables = harness.Figure4(r, sc)
+	case *fig == 9:
+		tables = harness.Figure9(r, sc)
+	case *fig == 10:
+		tables = harness.Figure10(r, sc)
+	case *fig == 0:
+		tables = harness.HashTableComparison(r, sc)
+	default:
+		return fmt.Errorf("rbbench: -fig must be 4, 9, 10 or 0, got %d", *fig)
+	}
+	for i := range tables {
+		if *csv {
+			tables[i].RenderCSV(os.Stdout)
+		} else {
+			tables[i].Render(os.Stdout)
+		}
+	}
+	return nil
+}

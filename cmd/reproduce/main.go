@@ -1,0 +1,107 @@
+// Command reproduce regenerates every figure of the paper's evaluation in
+// one process (sharing a memoized point cache across figures) and writes
+// the tables to the results/ directory as well as stdout:
+//
+//	go run ./cmd/reproduce            # full scale (tens of minutes)
+//	go run ./cmd/reproduce -quick     # reduced scale (about a minute)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"elision/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "reduced scale")
+	outDir := flag.String("out", "results", "output directory")
+	flag.Parse()
+
+	sc := harness.DefaultScale()
+	ssc := harness.DefaultStampScale()
+	if *quick {
+		sc = harness.TestScale()
+		ssc = harness.TestStampScale()
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	r := harness.NewRunner()
+	r.Progress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r  %d/%d points", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
+	write := func(name string, tables []harness.Table) error {
+		f, err := os.Create(filepath.Join(*outDir, name+".txt"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := io.MultiWriter(os.Stdout, f)
+		for i := range tables {
+			tables[i].Render(w)
+		}
+		c, err := os.Create(filepath.Join(*outDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		for i := range tables {
+			tables[i].RenderCSV(c)
+		}
+		return nil
+	}
+
+	type job struct {
+		name string
+		gen  func() ([]harness.Table, error)
+	}
+	jobs := []job{
+		{"figure2", func() ([]harness.Table, error) { return harness.Figure2(r, sc), nil }},
+		{"figure3", func() ([]harness.Table, error) { return harness.Figure3(r, sc), nil }},
+		{"figure4", func() ([]harness.Table, error) { return harness.Figure4(r, sc), nil }},
+		{"figure9", func() ([]harness.Table, error) { return harness.Figure9(r, sc), nil }},
+		{"figure10", func() ([]harness.Table, error) { return harness.Figure10(r, sc), nil }},
+		{"hashtable", func() ([]harness.Table, error) { return harness.HashTableComparison(r, sc), nil }},
+		{"figure11", func() ([]harness.Table, error) {
+			return harness.Figure11(ssc, runtime.GOMAXPROCS(0), r.Progress)
+		}},
+		{"analysis", func() ([]harness.Table, error) { return harness.AnalysisTables(r, sc), nil }},
+		{"figure9-smt", func() ([]harness.Table, error) { return harness.SMTFigure9(r, sc, 4), nil }},
+		{"scm-groups", func() ([]harness.Table, error) { return harness.GroupedSCMAblation(r, sc), nil }},
+		{"finegrained", func() ([]harness.Table, error) { return harness.FineGrainedComparison(sc), nil }},
+		{"fairness", func() ([]harness.Table, error) { return harness.FairnessComparison(sc), nil }},
+		{"sensitivity", func() ([]harness.Table, error) { return harness.CostSensitivity(sc), nil }},
+		{"fairlocks", func() ([]harness.Table, error) { return harness.FairLockLemming(r, sc), nil }},
+	}
+	for _, j := range jobs {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "== %s ==\n", j.name)
+		tables, err := j.gen()
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		if err := write(j.name, tables); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "   %s done in %v\n", j.name, time.Since(start).Round(time.Second))
+	}
+	return nil
+}

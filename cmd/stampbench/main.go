@@ -1,0 +1,56 @@
+// Command stampbench reproduces §7.2 (Figure 11): the runtime of the nine
+// STAMP application configurations under every execution scheme, normalized
+// to the plain non-speculative lock of the same type. Lower is better.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"elision/internal/harness"
+	"elision/internal/stamp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "smaller inputs for a fast run")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	threads := flag.Int("threads", 8, "simulated hardware threads")
+	factor := flag.Int("factor", 0, "input-size factor (0 = scale default)")
+	flag.Parse()
+
+	sc := harness.DefaultStampScale()
+	if *quick {
+		sc = harness.TestStampScale()
+	}
+	sc.Threads = *threads
+	if *factor > 0 {
+		sc.Factor = stamp.Factor(*factor)
+	}
+
+	tables, err := harness.Figure11(sc, runtime.GOMAXPROCS(0), func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for i := range tables {
+		if *csv {
+			tables[i].RenderCSV(os.Stdout)
+		} else {
+			tables[i].Render(os.Stdout)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package elision
+
+import (
+	"elision/internal/hashtable"
+	"elision/internal/htm"
+	"elision/internal/rbtree"
+)
+
+// Re-exported simulated-memory containers: the data structures of the
+// paper's §4/§7.1 benchmarks, usable from applications. All operations take
+// a Ctx (inside a Scheme.Critical body) or the System's Setup accessor (for
+// initialization).
+type (
+	// RBTree is a red-black tree in simulated memory.
+	RBTree = rbtree.Tree
+	// HashTable is a chained hash table in simulated memory.
+	HashTable = hashtable.Table
+	// Accessor is the memory interface containers are written against; both
+	// Ctx and the Setup accessor implement it.
+	Accessor = htm.Accessor
+)
+
+// NewRBTree allocates a red-black tree on the system's memory.
+func (s *System) NewRBTree() *RBTree { return rbtree.New(s.memory, s.threads) }
+
+// NewHashTable allocates a hash table with the given bucket count.
+func (s *System) NewHashTable(buckets int) *HashTable {
+	return hashtable.New(s.memory, s.threads, buckets)
+}

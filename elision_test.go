@@ -1,0 +1,101 @@
+package elision
+
+import (
+	"testing"
+)
+
+func TestQuickstartCounter(t *testing.T) {
+	sys, err := NewSystem(Config{Threads: 8, Seed: 1, Quantum: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock := sys.NewMCSLock()
+	scheme := sys.HLESCM(lock)
+	counter := sys.Alloc(1)
+	const iters = 50
+	var stats Stats
+	for i := 0; i < 8; i++ {
+		sys.Go(func(p *Proc) {
+			for k := 0; k < iters; k++ {
+				stats.Add(scheme.Critical(p, func(c Ctx) {
+					c.Store(counter, c.Load(counter)+1)
+				}))
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Setup().Load(counter); got != 8*iters {
+		t.Fatalf("counter = %d, want %d", got, 8*iters)
+	}
+	if stats.Ops != 8*iters {
+		t.Fatalf("stats.Ops = %d", stats.Ops)
+	}
+}
+
+func TestAllPublicConstructors(t *testing.T) {
+	sys, err := NewSystem(Config{Threads: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elidables := []Elidable{
+		sys.NewTTASLock(), sys.NewBackoffTTASLock(), sys.NewMCSLock(),
+		sys.NewTicketHLELock(), sys.NewCLHHLELock(),
+	}
+	plain := []Lock{sys.NewTicketLock(), sys.NewCLHLock()}
+	var schemes []Scheme
+	for _, l := range elidables {
+		schemes = append(schemes,
+			sys.NewStandard(l), sys.NewHLE(l), sys.HLERetries(l, 10),
+			sys.OptSLR(l), sys.HLESCM(l), sys.SLRSCM(l),
+			sys.GroupedHLESCM(l, 4), sys.GroupedSLRSCM(l, 4))
+	}
+	for _, l := range plain {
+		schemes = append(schemes, sys.NewStandard(l), sys.OptSLR(l), sys.HLESCM(l))
+	}
+	// One counter per scheme: procs may be at different schemes at the same
+	// moment, and only critical sections under the SAME lock exclude each
+	// other.
+	counters := make([]Addr, len(schemes))
+	for i := range counters {
+		counters[i] = sys.Alloc(1)
+	}
+	for i := 0; i < 4; i++ {
+		sys.Go(func(p *Proc) {
+			for si, s := range schemes {
+				data := counters[si]
+				s.Critical(p, func(c Ctx) {
+					c.Store(data, c.Load(data)+1)
+				})
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range counters {
+		if got := sys.Setup().Load(a); got != 4 {
+			t.Fatalf("scheme %d (%s): counter = %d, want 4", i, schemes[i].Name(), got)
+		}
+	}
+}
+
+func TestDefaultMemorySize(t *testing.T) {
+	sys, err := NewSystem(Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Memory().Store().Words() < 1<<20 {
+		t.Fatalf("default memory too small: %d words", sys.Memory().Store().Words())
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := NewSystem(Config{Threads: 0}); err == nil {
+		t.Fatal("NewSystem(Threads: 0) succeeded")
+	}
+	if _, err := NewSystem(Config{Threads: 100}); err == nil {
+		t.Fatal("NewSystem(Threads: 100) succeeded")
+	}
+}

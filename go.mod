@@ -1,0 +1,3 @@
+module elision
+
+go 1.22

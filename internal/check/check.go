@@ -1,0 +1,142 @@
+// Package check provides a serializability checker for critical-section
+// histories. Benchmark and test workloads record one Event per completed
+// operation, stamped with the virtual time of its linearization point (the
+// commit of its transaction or the release of its lock). Because critical
+// sections under every scheme are atomic, the history must be equivalent to
+// executing the operations sequentially in linearization-time order; Verify
+// replays them against a sequential model and reports the first divergence.
+//
+// Within one simulated machine, virtual-time order of linearization points
+// is a total order (ties cannot happen between two critical sections that
+// touch the same data: one's commit conflicts with the other), so the check
+// is exact, not heuristic.
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind is the operation type of an event.
+type Kind int8
+
+// Operation kinds for map-like data structures.
+const (
+	OpInsert Kind = iota + 1
+	OpDelete
+	OpLookup
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpLookup:
+		return "lookup"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one completed operation.
+type Event struct {
+	// When is the operation's linearization point in virtual time.
+	When uint64
+	// Proc is the simulated thread that executed it.
+	Proc int
+	// Op is the operation kind.
+	Op Kind
+	// Key is the operated key.
+	Key int64
+	// Val is the value written (inserts only).
+	Val int64
+	// Found is the operation's boolean result: "was new" for inserts,
+	// "was present" for deletes and lookups.
+	Found bool
+	// Got is the value a successful lookup returned.
+	Got int64
+}
+
+// History collects events from a single machine's run. It is not
+// synchronized: the simulator's single-runner execution makes plain appends
+// safe, exactly like the rest of the simulated state.
+type History struct {
+	events []Event
+}
+
+// Record appends one event.
+func (h *History) Record(e Event) {
+	h.events = append(h.events, e)
+}
+
+// Len returns the number of recorded events.
+func (h *History) Len() int { return len(h.events) }
+
+// Verify replays the history in linearization order against a sequential
+// map model seeded with initial, returning an error describing the first
+// operation whose result is inconsistent with a serial execution.
+func (h *History) Verify(initial map[int64]int64) error {
+	events := make([]Event, len(h.events))
+	copy(events, h.events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].When < events[j].When })
+
+	model := make(map[int64]int64, len(initial))
+	for k, v := range initial {
+		model[k] = v
+	}
+	for i, e := range events {
+		switch e.Op {
+		case OpInsert:
+			_, existed := model[e.Key]
+			if e.Found == existed {
+				return fmt.Errorf("check: event %d (t=%d proc=%d) insert(%d): reported new=%v but model says existed=%v",
+					i, e.When, e.Proc, e.Key, e.Found, existed)
+			}
+			model[e.Key] = e.Val
+		case OpDelete:
+			_, existed := model[e.Key]
+			if e.Found != existed {
+				return fmt.Errorf("check: event %d (t=%d proc=%d) delete(%d): reported present=%v but model says %v",
+					i, e.When, e.Proc, e.Key, e.Found, existed)
+			}
+			delete(model, e.Key)
+		case OpLookup:
+			v, existed := model[e.Key]
+			if e.Found != existed {
+				return fmt.Errorf("check: event %d (t=%d proc=%d) lookup(%d): reported present=%v but model says %v",
+					i, e.When, e.Proc, e.Key, e.Found, existed)
+			}
+			if existed && e.Got != v {
+				return fmt.Errorf("check: event %d (t=%d proc=%d) lookup(%d): returned %d but model holds %d",
+					i, e.When, e.Proc, e.Key, e.Got, v)
+			}
+		default:
+			return fmt.Errorf("check: event %d has unknown kind %v", i, e.Op)
+		}
+	}
+	return nil
+}
+
+// Final returns the model state after replaying the full history (for
+// comparing against the data structure's actual final contents).
+func (h *History) Final(initial map[int64]int64) map[int64]int64 {
+	events := make([]Event, len(h.events))
+	copy(events, h.events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].When < events[j].When })
+	model := make(map[int64]int64, len(initial))
+	for k, v := range initial {
+		model[k] = v
+	}
+	for _, e := range events {
+		switch e.Op {
+		case OpInsert:
+			model[e.Key] = e.Val
+		case OpDelete:
+			delete(model, e.Key)
+		}
+	}
+	return model
+}

@@ -1,0 +1,88 @@
+package check
+
+import (
+	"testing"
+)
+
+func TestVerifyAcceptsSerialHistory(t *testing.T) {
+	var h History
+	h.Record(Event{When: 1, Op: OpInsert, Key: 5, Val: 50, Found: true})
+	h.Record(Event{When: 2, Op: OpLookup, Key: 5, Found: true, Got: 50})
+	h.Record(Event{When: 3, Op: OpDelete, Key: 5, Found: true})
+	h.Record(Event{When: 4, Op: OpLookup, Key: 5, Found: false})
+	if err := h.Verify(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyUsesTimeOrderNotRecordOrder(t *testing.T) {
+	var h History
+	// Recorded out of order (per-proc append order), correct in time order.
+	h.Record(Event{When: 20, Op: OpLookup, Key: 1, Found: true, Got: 7})
+	h.Record(Event{When: 10, Op: OpInsert, Key: 1, Val: 7, Found: true})
+	if err := h.Verify(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesStaleRead(t *testing.T) {
+	var h History
+	h.Record(Event{When: 1, Op: OpInsert, Key: 1, Val: 7, Found: true})
+	h.Record(Event{When: 2, Op: OpLookup, Key: 1, Found: false}) // lost update!
+	if err := h.Verify(nil); err == nil {
+		t.Fatal("stale read not detected")
+	}
+}
+
+func TestVerifyCatchesWrongValue(t *testing.T) {
+	var h History
+	h.Record(Event{When: 1, Op: OpInsert, Key: 1, Val: 7, Found: true})
+	h.Record(Event{When: 2, Op: OpLookup, Key: 1, Found: true, Got: 9})
+	if err := h.Verify(nil); err == nil {
+		t.Fatal("wrong lookup value not detected")
+	}
+}
+
+func TestVerifyCatchesDoubleInsert(t *testing.T) {
+	var h History
+	h.Record(Event{When: 1, Op: OpInsert, Key: 1, Val: 7, Found: true})
+	h.Record(Event{When: 2, Op: OpInsert, Key: 1, Val: 8, Found: true}) // should be an update
+	if err := h.Verify(nil); err == nil {
+		t.Fatal("double 'new' insert not detected")
+	}
+}
+
+func TestVerifyCatchesGhostDelete(t *testing.T) {
+	var h History
+	h.Record(Event{When: 1, Op: OpDelete, Key: 9, Found: true})
+	if err := h.Verify(nil); err == nil {
+		t.Fatal("delete of a missing key reported success undetected")
+	}
+}
+
+func TestVerifyRespectsInitialState(t *testing.T) {
+	var h History
+	h.Record(Event{When: 1, Op: OpLookup, Key: 3, Found: true, Got: 30})
+	if err := h.Verify(map[int64]int64{3: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Verify(nil); err == nil {
+		t.Fatal("initial state ignored")
+	}
+}
+
+func TestFinalReplays(t *testing.T) {
+	var h History
+	h.Record(Event{When: 2, Op: OpDelete, Key: 1, Found: true})
+	h.Record(Event{When: 1, Op: OpInsert, Key: 2, Val: 5, Found: true})
+	got := h.Final(map[int64]int64{1: 10})
+	if len(got) != 1 || got[2] != 5 {
+		t.Fatalf("Final = %v, want {2:5}", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" || OpLookup.String() != "lookup" {
+		t.Fatal("Kind strings changed")
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"elision/internal/htm"
+	"elision/internal/locks"
+)
+
+// Lock and scheme names accepted by the factories (and used in benchmark
+// output).
+const (
+	LockNameTTAS        = "ttas"
+	LockNameTTASBackoff = "ttas-backoff"
+	LockNameMCS         = "mcs"
+	LockNameTicketHLE   = "ticket-hle"
+	LockNameCLHHLE      = "clh-hle"
+
+	SchemeNameNoLock     = "nolock"
+	SchemeNameStandard   = "standard"
+	SchemeNameHLE        = "hle"
+	SchemeNameHLERetries = "hle-retries"
+	SchemeNameHLESCM     = "hle-scm"
+	SchemeNameOptSLR     = "opt-slr"
+	SchemeNameSLRSCM     = "slr-scm"
+	// Grouped-SCM variants (the §6 Remark extension), with 8 conflict
+	// groups.
+	SchemeNameHLESCMGrouped = "hle-scm-grouped"
+	SchemeNameSLRSCMGrouped = "slr-scm-grouped"
+)
+
+// GroupedSCMGroups is the auxiliary-lock count used by the factory's
+// grouped-SCM schemes.
+const GroupedSCMGroups = 8
+
+// BuildLock constructs a lock by name over the given memory.
+func BuildLock(hm *htm.Memory, name string, procs int) (locks.Elidable, error) {
+	switch name {
+	case LockNameTTAS:
+		return locks.NewTTAS(hm), nil
+	case LockNameTTASBackoff:
+		return locks.NewBackoffTTAS(hm), nil
+	case LockNameMCS:
+		return locks.NewMCS(hm, procs), nil
+	case LockNameTicketHLE:
+		return locks.NewTicketHLE(hm, procs), nil
+	case LockNameCLHHLE:
+		return locks.NewCLHHLE(hm, procs), nil
+	default:
+		return nil, fmt.Errorf("core: unknown lock %q", name)
+	}
+}
+
+// BuildScheme constructs a scheme by name over the given lock. SCM schemes
+// get a fair MCS auxiliary lock, as in the paper's evaluation.
+func BuildScheme(hm *htm.Memory, name string, l locks.Elidable, procs int) (Scheme, error) {
+	switch name {
+	case SchemeNameNoLock:
+		return NewNoLock(hm), nil
+	case SchemeNameStandard:
+		return NewStandard(hm, l), nil
+	case SchemeNameHLE:
+		return NewHLE(hm, l), nil
+	case SchemeNameHLERetries:
+		return NewHLERetries(hm, l, DefaultMaxRetries), nil
+	case SchemeNameHLESCM:
+		return NewSCM(hm, l, locks.NewMCS(hm, procs), SCMOverHLE), nil
+	case SchemeNameOptSLR:
+		return NewSLR(hm, l), nil
+	case SchemeNameSLRSCM:
+		return NewSCM(hm, l, locks.NewMCS(hm, procs), SCMOverSLR), nil
+	case SchemeNameHLESCMGrouped:
+		return NewGroupedSCM(hm, l, SCMOverHLE, GroupedSCMGroups, procs), nil
+	case SchemeNameSLRSCMGrouped:
+		return NewGroupedSCM(hm, l, SCMOverSLR, GroupedSCMGroups, procs), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q", name)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"elision/internal/htm"
+)
+
+// Stats aggregates Outcomes using §4's accounting: S speculative
+// completions, N non-speculative completions, A aborted speculative
+// attempts, and total execution attempts.
+type Stats struct {
+	// Ops is the number of completed critical sections (S + N).
+	Ops uint64
+	// Spec is S: operations that committed speculatively.
+	Spec uint64
+	// NonSpec is N: operations that completed holding the lock.
+	NonSpec uint64
+	// Aborts is A: aborted speculative attempts.
+	Aborts uint64
+	// Attempts is the total number of critical-section executions.
+	Attempts uint64
+	// AuxAcquires counts SCM serializing-path entries.
+	AuxAcquires uint64
+	// ByCause histograms the final abort cause of each failed attempt run.
+	ByCause [htm.NumCauses]uint64
+}
+
+// Add accumulates one outcome.
+func (s *Stats) Add(o Outcome) {
+	s.Ops++
+	if o.Speculative {
+		s.Spec++
+	} else {
+		s.NonSpec++
+	}
+	s.Aborts += uint64(o.Aborts)
+	s.Attempts += uint64(o.Attempts)
+	if o.AuxUsed {
+		s.AuxAcquires++
+	}
+	if o.Aborts > 0 {
+		s.ByCause[o.LastCause]++
+	}
+}
+
+// Merge folds other into s.
+func (s *Stats) Merge(other Stats) {
+	s.Ops += other.Ops
+	s.Spec += other.Spec
+	s.NonSpec += other.NonSpec
+	s.Aborts += other.Aborts
+	s.Attempts += other.Attempts
+	s.AuxAcquires += other.AuxAcquires
+	for i := range s.ByCause {
+		s.ByCause[i] += other.ByCause[i]
+	}
+}
+
+// NonSpecFraction is N/(N+S): the fraction of operations that completed
+// non-speculatively (Figure 2, bottom panel).
+func (s *Stats) NonSpecFraction() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.NonSpec) / float64(s.Ops)
+}
+
+// AttemptsPerOp is (A+N+S)/(N+S): how many times a thread executes the
+// critical section per completed operation (Figure 2, middle panel).
+func (s *Stats) AttemptsPerOp() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.Attempts) / float64(s.Ops)
+}

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"fmt"
+)
+
+// This file holds the experiments that go beyond the paper's figures:
+//
+//   - AnalysisTables: the per-scheme attempts/op and speculative-fraction
+//     analysis §7.1 defers to the companion technical report.
+//   - SMTFigure9: Figure 9 re-run under the SMT model (4 cores × 2
+//     hyperthreads, the paper's actual testbed topology), quantifying how
+//     much of the HLE-retries/fair-lock collapse comes from hyperthread
+//     cache sharing.
+//   - GroupedSCMAblation: the §6 Remark / §8 future-work refinement —
+//     conflict-location-grouped auxiliary locks — against plain SCM on a
+//     workload with several independent conflict communities.
+
+// AnalysisTables reports, for every scheme on both locks across the size
+// sweep (8 threads, moderate contention): attempts per operation and the
+// fraction of operations completing speculatively. This is the "detailed
+// analysis of the number of attempts per successful operation and fraction
+// of operations that complete in a speculative execution" the paper defers
+// to [4] for space.
+func AnalysisTables(r *Runner, sc Scale) []Table {
+	nt := sc.maxThreads()
+	var cfgs []DSConfig
+	for _, lock := range benchLocks {
+		for _, s := range AllSchemes {
+			for _, size := range sc.Sizes {
+				cfgs = append(cfgs, sc.point(size, MixModerate, s, lock, nt))
+			}
+		}
+	}
+	r.RunAll(cfgs)
+
+	var tables []Table
+	for _, lock := range benchLocks {
+		at := Table{
+			Title:   fmt.Sprintf("Analysis: attempts per operation, %d threads, 20%% updates — %s lock", nt, lock),
+			Columns: append([]string{"size"}, schemeCols()...),
+		}
+		sf := Table{
+			Title:   fmt.Sprintf("Analysis: speculative completion fraction, %d threads, 20%% updates — %s lock", nt, lock),
+			Columns: append([]string{"size"}, schemeCols()...),
+		}
+		for _, size := range sc.Sizes {
+			rowA := []string{I(size)}
+			rowS := []string{I(size)}
+			for _, s := range AllSchemes {
+				res := r.Run(sc.point(size, MixModerate, s, lock, nt))
+				rowA = append(rowA, F2(res.Stats.AttemptsPerOp()))
+				rowS = append(rowS, F3(1-res.Stats.NonSpecFraction()))
+			}
+			at.AddRow(rowA...)
+			sf.AddRow(rowS...)
+		}
+		tables = append(tables, at, sf)
+	}
+	return tables
+}
+
+// SMTFigure9 is Figure 9 with the machine configured as the paper's
+// 4-core/8-hyperthread testbed: core-sibling slowdown plus shared-L1
+// spurious-abort pressure. The single-thread no-locking baseline is also
+// run under SMT geometry (its sibling is idle, so it pays nothing).
+func SMTFigure9(r *Runner, sc Scale, cores int) []Table {
+	smt := sc
+	smt.Cores = cores
+	tables := Figure9(r, smt)
+	for i := range tables {
+		tables[i].Title = fmt.Sprintf("%s (SMT: %d cores)", tables[i].Title, cores)
+	}
+	return tables
+}
+
+// GroupedSCMAblation compares plain SCM against conflict-location-grouped
+// SCM on the tree benchmark (8 threads). Grouping helps when distinct
+// conflict communities exist (updates scattered over a large tree) and must
+// not hurt when all conflicts are one community (a tiny tree).
+func GroupedSCMAblation(r *Runner, sc Scale) []Table {
+	nt := sc.maxThreads()
+	schemes := []SchemeID{SchemeHLESCM, SchemeHLESCMGrouped, SchemeSLRSCM, SchemeSLRSCMGrouped}
+	var cfgs []DSConfig
+	for _, size := range sc.Sizes {
+		cfgs = append(cfgs, sc.point(size, MixExtensive, SchemeHLE, LockMCS, nt))
+		for _, s := range schemes {
+			cfgs = append(cfgs, sc.point(size, MixExtensive, s, LockMCS, nt))
+		}
+	}
+	r.RunAll(cfgs)
+
+	t := Table{
+		Title: fmt.Sprintf("Grouped-SCM ablation (§6 Remark): speedup vs plain HLE, MCS lock, %d threads, 100%% updates",
+			nt),
+		Columns: []string{"size", "hle-scm", "hle-scm-grouped", "slr-scm", "slr-scm-grouped"},
+	}
+	for _, size := range sc.Sizes {
+		base := r.Run(sc.point(size, MixExtensive, SchemeHLE, LockMCS, nt))
+		row := []string{I(size)}
+		for _, s := range schemes {
+			res := r.Run(sc.point(size, MixExtensive, s, LockMCS, nt))
+			row = append(row, F2(ratio(res.Throughput(), base.Throughput())))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}
+}

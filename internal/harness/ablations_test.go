@@ -1,0 +1,69 @@
+package harness
+
+import "testing"
+
+func TestAnalysisTables(t *testing.T) {
+	r := NewRunner()
+	sc := TestScale()
+	tabs := AnalysisTables(r, sc)
+	if len(tabs) != 4 {
+		t.Fatalf("got %d tables, want 4", len(tabs))
+	}
+	for _, tb := range tabs {
+		if len(tb.Rows) != len(sc.Sizes) {
+			t.Fatalf("%s: %d rows, want %d", tb.Title, len(tb.Rows), len(sc.Sizes))
+		}
+	}
+	// The standard scheme never speculates: its attempts/op is exactly 1 and
+	// its speculative fraction exactly 0.
+	for _, size := range sc.Sizes {
+		res := r.Run(sc.point(size, MixModerate, SchemeStandard, LockMCS, sc.maxThreads()))
+		if res.Stats.AttemptsPerOp() != 1 || res.Stats.Spec != 0 {
+			t.Fatalf("standard scheme accounting wrong at size %d: %+v", size, res.Stats)
+		}
+	}
+}
+
+// TestSMTFigure9 checks that the SMT topology (a) runs, (b) keeps the
+// paper's central contrast (software schemes far above plain HLE on MCS),
+// and (c) removes the HLE-retries advantage the non-SMT simulator shows.
+func TestSMTFigure9(t *testing.T) {
+	r := NewRunner()
+	sc := TestScale()
+	sc.Budget = 500_000
+	sc.Threads = []int{1, 8}
+	_ = SMTFigure9(r, sc, 4)
+	smt := sc
+	smt.Cores = 4
+	hle := r.Run(smt.point(128, MixModerate, SchemeHLE, LockMCS, 8))
+	retries := r.Run(smt.point(128, MixModerate, SchemeHLERetries, LockMCS, 8))
+	scm := r.Run(smt.point(128, MixModerate, SchemeHLESCM, LockMCS, 8))
+	if scm.Throughput() < 2*hle.Throughput() {
+		t.Errorf("SMT: HLE-SCM (%.0f) does not clearly beat plain HLE (%.0f) on MCS",
+			scm.Throughput(), hle.Throughput())
+	}
+	if retries.Throughput() > 1.05*scm.Throughput() {
+		t.Errorf("SMT: HLE-retries (%.0f) still beats SCM (%.0f); hyperthread pressure missing",
+			retries.Throughput(), scm.Throughput())
+	}
+}
+
+func TestGroupedSCMAblation(t *testing.T) {
+	r := NewRunner()
+	sc := TestScale()
+	tabs := GroupedSCMAblation(r, sc)
+	if len(tabs) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tabs))
+	}
+	nt := sc.maxThreads()
+	// Grouped SCM must remain correct and competitive: within 2x of plain
+	// SCM everywhere (it trades a little overhead for community isolation).
+	for _, size := range sc.Sizes {
+		plain := r.Run(sc.point(size, MixExtensive, SchemeHLESCM, LockMCS, nt))
+		grouped := r.Run(sc.point(size, MixExtensive, SchemeHLESCMGrouped, LockMCS, nt))
+		if grouped.Throughput() < plain.Throughput()/2 {
+			t.Errorf("size %d: grouped SCM collapsed: %.0f vs plain %.0f",
+				size, grouped.Throughput(), plain.Throughput())
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"fmt"
+)
+
+// FairLockLemming verifies §4's footnote-level claim: "we have verified
+// that both these locks [ticket and CLH] suffer from the same problems
+// reported below for the MCS lock". It reports the Figure-2 metrics
+// (HLE speedup over the standard lock and the non-speculative fraction)
+// for all four HLE-capable locks: if the claim holds, the three fair locks
+// cluster together (speedup ≈ 1, non-speculative ≈ 1) while TTAS recovers.
+func FairLockLemming(r *Runner, sc Scale) []Table {
+	nt := sc.maxThreads()
+	lockIDs := []LockID{LockTTAS, LockMCS, LockTicketHLE, LockCLHHLE}
+	var cfgs []DSConfig
+	for _, size := range sc.Sizes {
+		for _, lock := range lockIDs {
+			cfgs = append(cfgs,
+				sc.point(size, MixModerate, SchemeHLE, lock, nt),
+				sc.point(size, MixModerate, SchemeStandard, lock, nt),
+			)
+		}
+	}
+	r.RunAll(cfgs)
+
+	speed := Table{
+		Title: fmt.Sprintf("Fair-lock lemming (§4 claim): HLE speedup over the standard lock, %d threads, 20%% updates",
+			nt),
+		Columns: []string{"size", "ttas", "mcs", "ticket-hle", "clh-hle"},
+	}
+	nonspec := Table{
+		Title:   "Fair-lock lemming: non-speculative fraction under plain HLE",
+		Columns: []string{"size", "ttas", "mcs", "ticket-hle", "clh-hle"},
+	}
+	for _, size := range sc.Sizes {
+		rowS := []string{I(size)}
+		rowN := []string{I(size)}
+		for _, lock := range lockIDs {
+			hle := r.Run(sc.point(size, MixModerate, SchemeHLE, lock, nt))
+			std := r.Run(sc.point(size, MixModerate, SchemeStandard, lock, nt))
+			rowS = append(rowS, F2(ratio(hle.Throughput(), std.Throughput())))
+			rowN = append(rowN, F3(hle.Stats.NonSpecFraction()))
+		}
+		speed.AddRow(rowS...)
+		nonspec.AddRow(rowN...)
+	}
+	return []Table{speed, nonspec}
+}

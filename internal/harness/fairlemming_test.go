@@ -1,0 +1,34 @@
+package harness
+
+import "testing"
+
+// TestFairLockLemming asserts §4's claim that the ticket and CLH locks
+// lemming exactly like MCS while TTAS recovers.
+func TestFairLockLemming(t *testing.T) {
+	r := NewRunner()
+	sc := TestScale()
+	tabs := FairLockLemming(r, sc)
+	if len(tabs) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tabs))
+	}
+	nt := sc.maxThreads()
+	for _, size := range sc.Sizes {
+		for _, lock := range []LockID{LockMCS, LockTicketHLE, LockCLHHLE} {
+			hle := r.Run(sc.point(size, MixModerate, SchemeHLE, lock, nt))
+			std := r.Run(sc.point(size, MixModerate, SchemeStandard, lock, nt))
+			if f := hle.Stats.NonSpecFraction(); f < 0.8 {
+				t.Errorf("size %d %s: non-spec fraction %.3f, want the fair-lock collapse (> 0.8)",
+					size, lock, f)
+			}
+			if sp := hle.Throughput() / std.Throughput(); sp > 1.6 {
+				t.Errorf("size %d %s: HLE speedup %.2f; fair locks should gain ~nothing", size, lock, sp)
+			}
+		}
+		ttas := r.Run(sc.point(size, MixModerate, SchemeHLE, LockTTAS, nt))
+		mcs := r.Run(sc.point(size, MixModerate, SchemeHLE, LockMCS, nt))
+		if ttas.Stats.NonSpecFraction() >= mcs.Stats.NonSpecFraction() {
+			t.Errorf("size %d: TTAS (%.3f) did not recover better than MCS (%.3f)",
+				size, ttas.Stats.NonSpecFraction(), mcs.Stats.NonSpecFraction())
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package harness
+
+import "testing"
+
+// TestFairnessClaims verifies §1's SCM claim on the MCS lock: starvation
+// freedom (high fairness index for every scheme with a fair fallback) and
+// no performance degradation (SCM at or above the retry policy's
+// throughput while staying fair).
+func TestFairnessClaims(t *testing.T) {
+	sc := TestScale()
+	sc.Budget = 600_000
+	tabs := FairnessComparison(sc)
+	if len(tabs) != 1 || len(tabs[0].Rows) != 6 {
+		t.Fatalf("unexpected table shape: %+v", tabs)
+	}
+	jainStd, _, _, _ := runFairness(sc, sc.maxThreads(), SchemeStandard)
+	jainSCM, _, _, tputSCM := runFairness(sc, sc.maxThreads(), SchemeHLESCM)
+	jainRetries, _, _, tputRetries := runFairness(sc, sc.maxThreads(), SchemeHLERetries)
+	if jainStd < 0.99 {
+		t.Errorf("standard MCS Jain index %.3f; the baseline fair lock is not fair", jainStd)
+	}
+	if jainSCM < 0.95 {
+		t.Errorf("HLE-SCM Jain index %.3f; SCM lost the auxiliary lock's fairness", jainSCM)
+	}
+	if tputSCM < tputRetries {
+		t.Errorf("HLE-SCM throughput (%.0f) below HLE-retries (%.0f); 'no performance degradation' violated",
+			tputSCM, tputRetries)
+	}
+	_ = jainRetries
+}

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+
+	"elision/internal/core"
+	"elision/internal/hashtable"
+	"elision/internal/htm"
+	"elision/internal/locks"
+	"elision/internal/sim"
+)
+
+// FineGrainedComparison tests the paper's PARSEC observation (§7): applying
+// HLE to code that is *already* fine-grained shows little performance
+// impact, because such code was tuned to avoid lock contention in the first
+// place — the premise of HLE is that it makes coarse-grained code perform
+// like fine-grained code.
+//
+// The experiment runs the same hash-table workload four ways: one global
+// lock vs 64 striped locks, each with and without elision, and reports
+// throughput. The headline ratios: HLE buys a lot on the coarse lock and
+// almost nothing on the striped locks.
+func FineGrainedComparison(sc Scale) []Table {
+	const (
+		size    = 4096
+		stripes = 64
+	)
+	nt := sc.maxThreads()
+	type variant struct {
+		name    string
+		stripes int
+		elide   bool
+	}
+	variants := []variant{
+		{"coarse / standard", 1, false},
+		{"coarse / hle", 1, true},
+		{"fine (64 stripes) / standard", stripes, false},
+		{"fine (64 stripes) / hle", stripes, true},
+	}
+	t := Table{
+		Title: fmt.Sprintf("Fine-grained comparison (PARSEC observation, §7): hash table, %d threads, 20%% updates",
+			nt),
+		Columns: []string{"variant", "ops/Mcycle", "spec-frac"},
+	}
+	var coarseStd, coarseHLE, fineStd, fineHLE float64
+	for vi, v := range variants {
+		tput, spec := runStriped(sc, nt, size, v.stripes, v.elide)
+		t.AddRow(v.name, F2(tput), F3(spec))
+		switch vi {
+		case 0:
+			coarseStd = tput
+		case 1:
+			coarseHLE = tput
+		case 2:
+			fineStd = tput
+		case 3:
+			fineHLE = tput
+		}
+	}
+	summary := Table{
+		Title:   "Fine-grained comparison: elision gain by granularity",
+		Columns: []string{"granularity", "hle/standard"},
+	}
+	summary.AddRow("coarse (1 lock)", F2(ratio(coarseHLE, coarseStd)))
+	summary.AddRow("fine (64 stripes)", F2(ratio(fineHLE, fineStd)))
+	return []Table{t, summary}
+}
+
+// runStriped executes the hash-table workload with the given lock striping,
+// returning throughput (ops per million cycles) and speculative fraction.
+func runStriped(sc Scale, threads, size, stripes int, elide bool) (float64, float64) {
+	m := sim.MustNew(sim.Config{Procs: threads, Seed: sc.Seed, Quantum: sc.Quantum, Cores: sc.Cores})
+	hm := htm.NewMemory(m, htm.Config{Words: size*32 + 1<<18})
+	table := hashtable.New(hm, threads, size)
+	raw := htm.Raw{M: hm}
+	rng := &fillRNG{s: sc.Seed + 1}
+	for n := 0; n < size; {
+		if table.Insert(raw, rng.next()%(2*int64(size)), 1) {
+			n++
+		}
+	}
+	schemes := make([]core.Scheme, stripes)
+	for i := range schemes {
+		l := locks.NewTTAS(hm)
+		if elide {
+			schemes[i] = core.NewHLE(hm, l)
+		} else {
+			schemes[i] = core.NewStandard(hm, l)
+		}
+	}
+	var stats core.Stats
+	for i := 0; i < threads; i++ {
+		m.Go(func(p *sim.Proc) {
+			for p.Clock() < sc.Budget {
+				key := int64(p.RandN(uint64(2 * size)))
+				s := schemes[table.BucketIndex(key)%stripes]
+				r := p.RandN(100)
+				var o core.Outcome
+				switch {
+				case r < 10:
+					o = s.Critical(p, func(c htm.Ctx) { table.Insert(c, key, 1) })
+				case r < 20:
+					o = s.Critical(p, func(c htm.Ctx) { table.Delete(c, key) })
+				default:
+					o = s.Critical(p, func(c htm.Ctx) { table.Lookup(c, key) })
+				}
+				stats.Add(o)
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		panic(fmt.Sprintf("harness: fine-grained run: %v", err))
+	}
+	var maxClock uint64
+	for i := 0; i < threads; i++ {
+		if c := m.Proc(i).Clock(); c > maxClock {
+			maxClock = c
+		}
+	}
+	return float64(stats.Ops) * 1e6 / float64(maxClock), 1 - stats.NonSpecFraction()
+}
+
+// fillRNG is a tiny deterministic generator for table pre-fill.
+type fillRNG struct{ s uint64 }
+
+func (r *fillRNG) next() int64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64((z ^ (z >> 31)) >> 1)
+}

@@ -1,0 +1,34 @@
+package harness
+
+import "testing"
+
+// TestFineGrainedObservation asserts the paper's PARSEC claim: elision
+// transforms coarse-grained locking but barely moves fine-grained locking.
+func TestFineGrainedObservation(t *testing.T) {
+	sc := TestScale()
+	sc.Budget = 500_000
+	tabs := FineGrainedComparison(sc)
+	if len(tabs) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tabs))
+	}
+	coarseStd, _ := runStriped(sc, sc.maxThreads(), 4096, 1, false)
+	coarseHLE, _ := runStriped(sc, sc.maxThreads(), 4096, 1, true)
+	fineStd, _ := runStriped(sc, sc.maxThreads(), 4096, 64, false)
+	fineHLE, _ := runStriped(sc, sc.maxThreads(), 4096, 64, true)
+	coarseGain := coarseHLE / coarseStd
+	fineGain := fineHLE / fineStd
+	if coarseGain < 3 {
+		t.Errorf("coarse elision gain = %.2f, want the transformative regime (> 3)", coarseGain)
+	}
+	if fineGain > 1.8 {
+		t.Errorf("fine-grained elision gain = %.2f, want the marginal regime (< 1.8)", fineGain)
+	}
+	if coarseGain < 2*fineGain {
+		t.Errorf("coarse gain (%.2f) should dwarf fine gain (%.2f)", coarseGain, fineGain)
+	}
+	// And the whole point of HLE: coarse+elision reaches the same ballpark
+	// as hand-tuned fine-grained locking.
+	if coarseHLE < fineStd/2 {
+		t.Errorf("coarse+HLE (%.0f) far below fine-grained standard (%.0f)", coarseHLE, fineStd)
+	}
+}

@@ -1,0 +1,254 @@
+// Package harness drives the paper's benchmarks: it wires machines,
+// memories, locks, schemes and data structures into measured workloads, and
+// regenerates every figure of the evaluation section (Figures 2, 3, 4, 9,
+// 10 via the data-structure benchmarks here; Figure 11 via internal/stamp).
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elision/internal/core"
+	"elision/internal/hashtable"
+	"elision/internal/htm"
+	"elision/internal/locks"
+	"elision/internal/rbtree"
+	"elision/internal/sim"
+)
+
+// LockID selects a lock implementation.
+type LockID string
+
+// Lock identifiers.
+const (
+	LockTTAS      LockID = "ttas"
+	LockMCS       LockID = "mcs"
+	LockTicketHLE LockID = "ticket-hle"
+	LockCLHHLE    LockID = "clh-hle"
+)
+
+// SchemeID selects an execution scheme.
+type SchemeID string
+
+// Scheme identifiers (§7's six schemes plus the no-locking baseline).
+const (
+	SchemeNoLock     SchemeID = "nolock"
+	SchemeStandard   SchemeID = "standard"
+	SchemeHLE        SchemeID = "hle"
+	SchemeHLERetries SchemeID = "hle-retries"
+	SchemeHLESCM     SchemeID = "hle-scm"
+	SchemeOptSLR     SchemeID = "opt-slr"
+	SchemeSLRSCM     SchemeID = "slr-scm"
+	// SchemeHLESCMGrouped is the §6-Remark extension: SCM with per-conflict-
+	// location auxiliary lock groups.
+	SchemeHLESCMGrouped SchemeID = "hle-scm-grouped"
+	// SchemeSLRSCMGrouped is grouped SCM over SLR attempts.
+	SchemeSLRSCMGrouped SchemeID = "slr-scm-grouped"
+)
+
+// AllSchemes is §7's evaluation order.
+var AllSchemes = []SchemeID{
+	SchemeStandard, SchemeHLE, SchemeHLERetries, SchemeHLESCM, SchemeOptSLR, SchemeSLRSCM,
+}
+
+// Mix is an operation distribution over insert/delete/lookup, in percent.
+type Mix struct {
+	InsertPct int
+	DeletePct int
+}
+
+// The paper's three contention mixes (§4, Figure 4).
+var (
+	// MixLookupOnly is "no contention": 100% lookups.
+	MixLookupOnly = Mix{0, 0}
+	// MixModerate is "moderate contention": 10% insert, 10% delete.
+	MixModerate = Mix{10, 10}
+	// MixExtensive is "extensive contention": 50% insert, 50% delete.
+	MixExtensive = Mix{50, 50}
+)
+
+// Name renders a mix the way the paper labels it.
+func (x Mix) Name() string {
+	switch x {
+	case MixLookupOnly:
+		return "lookups-only"
+	case MixModerate:
+		return "20% updates"
+	case MixExtensive:
+		return "100% updates"
+	default:
+		return fmt.Sprintf("%d%%ins/%d%%del", x.InsertPct, x.DeletePct)
+	}
+}
+
+// Structure selects the benchmark data structure.
+type Structure string
+
+// Structures.
+const (
+	StructTree Structure = "rbtree"
+	StructHash Structure = "hashtable"
+)
+
+// DSConfig describes one data-structure benchmark point. It is comparable,
+// so results can be memoized across figures that share points.
+type DSConfig struct {
+	Structure    Structure
+	Threads      int
+	Size         int // steady-state element count; key domain is [0, 2*Size)
+	Mix          Mix
+	Scheme       SchemeID
+	Lock         LockID
+	BudgetCycles uint64 // virtual-cycle budget per thread
+	SlotCycles   uint64 // when >0, sample per-slot stats (Figure 3)
+	Seed         uint64
+	Quantum      uint64
+	// Cores enables the SMT model (0 = one proc per core). The paper's
+	// testbed maps to Cores=4 with Threads=8.
+	Cores int
+}
+
+// Slot is one time-slot sample for Figure 3.
+type Slot struct {
+	Ops     uint64
+	NonSpec uint64
+}
+
+// Result is the outcome of one benchmark point.
+type Result struct {
+	Config DSConfig
+	Stats  core.Stats
+	// Cycles is the virtual time the run actually covered.
+	Cycles uint64
+	// Slots is the per-slot timeline when Config.SlotCycles > 0.
+	Slots []Slot
+}
+
+// Throughput returns operations per million virtual cycles.
+func (r Result) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Stats.Ops) * 1e6 / float64(r.Cycles)
+}
+
+// buildLock constructs the lock for a point.
+func buildLock(hm *htm.Memory, id LockID, procs int) locks.Elidable {
+	l, err := core.BuildLock(hm, string(id), procs)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// buildScheme constructs the scheme for a point.
+func buildScheme(hm *htm.Memory, id SchemeID, l locks.Elidable, procs int) core.Scheme {
+	s, err := core.BuildScheme(hm, string(id), l, procs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// memoryWords sizes simulated memory for a point: room for 2×Size live
+// nodes, per-thread arena churn, hash buckets and slack.
+func memoryWords(cfg DSConfig) int {
+	nodes := 2*cfg.Size + cfg.Threads*64*8 + 4096
+	words := nodes * 8
+	if cfg.Structure == StructHash {
+		words += bucketCount(cfg.Size) * 8
+	}
+	return words + 1<<16
+}
+
+// bucketCount picks the hash-table geometry for a target size.
+func bucketCount(size int) int {
+	b := 64
+	for b < size {
+		b <<= 1
+	}
+	return b
+}
+
+// dataStructure is the operation interface shared by both benchmarks.
+type dataStructure interface {
+	Insert(ac htm.Accessor, key, val int64) bool
+	Delete(ac htm.Accessor, key int64) bool
+	Lookup(ac htm.Accessor, key int64) (int64, bool)
+}
+
+// RunDataStructure executes one benchmark point and returns its result.
+// Runs are deterministic functions of the config.
+func RunDataStructure(cfg DSConfig) Result {
+	m := sim.MustNew(sim.Config{Procs: cfg.Threads, Seed: cfg.Seed, Quantum: cfg.Quantum, Cores: cfg.Cores})
+	hm := htm.NewMemory(m, htm.Config{Words: memoryWords(cfg)})
+
+	var ds dataStructure
+	switch cfg.Structure {
+	case StructHash:
+		ds = hashtable.New(hm, cfg.Threads, bucketCount(cfg.Size))
+	default:
+		ds = rbtree.New(hm, cfg.Threads)
+	}
+
+	// Initial fill: random keys from a domain of size 2*Size until the
+	// structure holds Size elements (§4's methodology).
+	raw := htm.Raw{M: hm}
+	domain := uint64(2 * cfg.Size)
+	if domain == 0 {
+		domain = 2
+	}
+	rng := rand.New(rand.NewSource(int64(cfg.Seed) + 1))
+	for n := 0; n < cfg.Size; {
+		if ds.Insert(raw, rng.Int63n(int64(domain)), 1) {
+			n++
+		}
+	}
+
+	l := buildLock(hm, cfg.Lock, cfg.Threads)
+	s := buildScheme(hm, cfg.Scheme, l, cfg.Threads)
+
+	var stats core.Stats
+	var slots []Slot
+	if cfg.SlotCycles > 0 {
+		slots = make([]Slot, cfg.BudgetCycles/cfg.SlotCycles+1)
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		m.Go(func(p *sim.Proc) {
+			for p.Clock() < cfg.BudgetCycles {
+				r := p.RandN(100)
+				key := int64(p.RandN(domain))
+				var o core.Outcome
+				switch {
+				case int(r) < cfg.Mix.InsertPct:
+					o = s.Critical(p, func(c htm.Ctx) { ds.Insert(c, key, 1) })
+				case int(r) < cfg.Mix.InsertPct+cfg.Mix.DeletePct:
+					o = s.Critical(p, func(c htm.Ctx) { ds.Delete(c, key) })
+				default:
+					o = s.Critical(p, func(c htm.Ctx) { ds.Lookup(c, key) })
+				}
+				stats.Add(o)
+				if cfg.SlotCycles > 0 {
+					idx := p.Clock() / cfg.SlotCycles
+					if idx >= uint64(len(slots)) {
+						idx = uint64(len(slots)) - 1
+					}
+					slots[idx].Ops++
+					if !o.Speculative {
+						slots[idx].NonSpec++
+					}
+				}
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		panic(fmt.Sprintf("harness: %v (config %+v)", err, cfg))
+	}
+	var maxClock uint64
+	for i := 0; i < cfg.Threads; i++ {
+		if c := m.Proc(i).Clock(); c > maxClock {
+			maxClock = c
+		}
+	}
+	return Result{Config: cfg, Stats: stats, Cycles: maxClock, Slots: slots}
+}

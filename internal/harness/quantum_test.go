@@ -1,0 +1,40 @@
+package harness
+
+import "testing"
+
+// TestQuantumShapeStability: the scheduling quantum (DESIGN.md §5) is a
+// host-performance knob. Larger quanta batch a thread's accesses, which
+// shrinks observed conflict windows and therefore shifts absolute
+// speculative speedups — but the reproduced SHAPES (the lemming collapse,
+// the SCM rescue, the TTAS-vs-fair-lock ordering, the non-speculative
+// fractions) must not depend on it. Checked at strict (0), benchmark (128)
+// and aggressive (1024) quanta.
+func TestQuantumShapeStability(t *testing.T) {
+	for _, quantum := range []uint64{0, 128, 1024} {
+		sc := TestScale()
+		sc.Budget = 400_000
+		sc.Quantum = quantum
+		r := NewRunner()
+		nt := sc.maxThreads()
+		hleMCS := r.Run(sc.point(128, MixModerate, SchemeHLE, LockMCS, nt))
+		stdMCS := r.Run(sc.point(128, MixModerate, SchemeStandard, LockMCS, nt))
+		hleTTAS := r.Run(sc.point(128, MixModerate, SchemeHLE, LockTTAS, nt))
+		scmMCS := r.Run(sc.point(128, MixModerate, SchemeHLESCM, LockMCS, nt))
+		if f := hleMCS.Stats.NonSpecFraction(); f < 0.8 {
+			t.Errorf("quantum %d: HLE-MCS non-spec %.3f, want lemming collapse", quantum, f)
+		}
+		if f := hleTTAS.Stats.NonSpecFraction(); f > 0.5 {
+			t.Errorf("quantum %d: HLE-TTAS non-spec %.3f, want recovery", quantum, f)
+		}
+		if sp := hleMCS.Throughput() / stdMCS.Throughput(); sp > 1.6 {
+			t.Errorf("quantum %d: HLE-MCS speedup %.2f, want ~1", quantum, sp)
+		}
+		if hleTTAS.Throughput() <= hleMCS.Throughput() {
+			t.Errorf("quantum %d: HLE-TTAS (%.0f) must beat HLE-MCS (%.0f)",
+				quantum, hleTTAS.Throughput(), hleMCS.Throughput())
+		}
+		if sp := scmMCS.Throughput() / hleMCS.Throughput(); sp < 2 {
+			t.Errorf("quantum %d: SCM/HLE on MCS %.2f, want > 2", quantum, sp)
+		}
+	}
+}

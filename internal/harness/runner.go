@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner executes benchmark points with host-level parallelism (each point's
+// simulation is internally sequential and deterministic) and memoizes
+// results, since the figures share many points (e.g. every speedup needs its
+// baseline).
+type Runner struct {
+	mu      sync.Mutex
+	cache   map[DSConfig]Result
+	Workers int
+	// Progress, when non-nil, is called after each completed point.
+	Progress func(done, total int)
+}
+
+// NewRunner returns a Runner using one worker per host CPU.
+func NewRunner() *Runner {
+	return &Runner{
+		cache:   make(map[DSConfig]Result),
+		Workers: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Run returns the result for one point, computing it if needed.
+func (r *Runner) Run(cfg DSConfig) Result {
+	r.mu.Lock()
+	if res, ok := r.cache[cfg]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+	res := RunDataStructure(cfg)
+	r.mu.Lock()
+	r.cache[cfg] = res
+	r.mu.Unlock()
+	return res
+}
+
+// RunAll computes every config, fanning out across Workers host goroutines,
+// and returns results in input order.
+func (r *Runner) RunAll(cfgs []DSConfig) []Result {
+	// Deduplicate against the cache first.
+	var todo []DSConfig
+	r.mu.Lock()
+	seen := make(map[DSConfig]bool, len(cfgs))
+	for _, c := range cfgs {
+		if _, ok := r.cache[c]; !ok && !seen[c] {
+			todo = append(todo, c)
+			seen[c] = true
+		}
+	}
+	r.mu.Unlock()
+
+	if len(todo) > 0 {
+		w := r.Workers
+		if w < 1 {
+			w = 1
+		}
+		jobs := make(chan DSConfig)
+		var wg sync.WaitGroup
+		done := 0
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for cfg := range jobs {
+					res := RunDataStructure(cfg)
+					r.mu.Lock()
+					r.cache[cfg] = res
+					done++
+					d := done
+					r.mu.Unlock()
+					if r.Progress != nil {
+						r.Progress(d, len(todo))
+					}
+				}
+			}()
+		}
+		for _, c := range todo {
+			jobs <- c
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	out := make([]Result, len(cfgs))
+	r.mu.Lock()
+	for i, c := range cfgs {
+		out[i] = r.cache[c]
+	}
+	r.mu.Unlock()
+	return out
+}

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"testing"
+
+	"elision/internal/sim"
+)
+
+// TestCostSensitivityRobust: the headline qualitative results must hold at
+// every miss:hit ratio — the reproduction's conclusions cannot be an
+// artifact of the one ratio we picked.
+func TestCostSensitivityRobust(t *testing.T) {
+	sc := TestScale()
+	sc.Budget = 400_000
+	tabs := CostSensitivity(sc)
+	if len(tabs) != 1 || len(tabs[0].Rows) == 0 {
+		t.Fatalf("unexpected table: %+v", tabs)
+	}
+	for _, ratio := range []uint64{1, 14, 28} {
+		cost := defaultCostWithRatio(ratio)
+		hleT := runCostPoint(sc, sc.maxThreads(), LockTTAS, "hle", cost)
+		stdT := runCostPoint(sc, sc.maxThreads(), LockTTAS, "standard", cost)
+		hleM := runCostPoint(sc, sc.maxThreads(), LockMCS, "hle", cost)
+		stdM := runCostPoint(sc, sc.maxThreads(), LockMCS, "standard", cost)
+		if hleT.tput < 1.3*stdT.tput {
+			t.Errorf("ratio %d:1: HLE-TTAS speedup %.2f, want > 1.3", ratio, hleT.tput/stdT.tput)
+		}
+		if hleM.tput > 1.5*stdM.tput {
+			t.Errorf("ratio %d:1: HLE-MCS speedup %.2f; lemming effect vanished", ratio, hleM.tput/stdM.tput)
+		}
+		if hleM.nonspec < 0.8 {
+			t.Errorf("ratio %d:1: HLE-MCS non-spec fraction %.3f, want near-total serialization", ratio, hleM.nonspec)
+		}
+	}
+}
+
+func defaultCostWithRatio(ratio uint64) sim.CostModel {
+	c := sim.DefaultCost()
+	c.MemHit = 4
+	c.MemMiss = 4 * ratio
+	return c
+}

@@ -1,0 +1,121 @@
+// Package hashtable implements a chained hash table in simulated memory —
+// the second data-structure benchmark of §7.1. Its transactions are always
+// short (one bucket chain), so it "zooms in" on the short-transaction end of
+// the red-black-tree workload spectrum.
+package hashtable
+
+import (
+	"elision/internal/htm"
+	"elision/internal/mem"
+)
+
+// Node field offsets (one line per node).
+const (
+	fKey  = 0
+	fVal  = 1
+	fNext = 2
+)
+
+// Table is a fixed-size chained hash table.
+type Table struct {
+	m       *htm.Memory
+	heap    *htm.Heap
+	buckets mem.Addr // one line per bucket: head pointer in word 0
+	nb      uint64
+}
+
+// New creates a table with nb buckets (rounded up to a power of two), each
+// bucket head on its own cache line so distinct buckets never conflict.
+func New(m *htm.Memory, procs, nb int) *Table {
+	n := uint64(1)
+	for n < uint64(nb) {
+		n <<= 1
+	}
+	return &Table{
+		m:       m,
+		heap:    htm.NewHeap(m, procs, 1, 64),
+		buckets: m.Store().AllocLines(int(n)),
+		nb:      n,
+	}
+}
+
+// bucket returns the head-pointer address for key.
+func (t *Table) bucket(key int64) mem.Addr {
+	return t.buckets + mem.Addr(t.BucketIndex(key))*mem.LineWords
+}
+
+// BucketIndex returns the bucket number key hashes to. Striped-locking
+// schemes use it to pick the lock guarding a key.
+func (t *Table) BucketIndex(key int64) int {
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return int((h >> 32) & (t.nb - 1))
+}
+
+// Buckets returns the table's bucket count.
+func (t *Table) Buckets() int { return int(t.nb) }
+
+// Lookup returns the value stored under key.
+func (t *Table) Lookup(ac htm.Accessor, key int64) (int64, bool) {
+	n := mem.Addr(ac.Load(t.bucket(key)))
+	for n != mem.Nil {
+		if ac.Load(n+fKey) == key {
+			return ac.Load(n + fVal), true
+		}
+		n = mem.Addr(ac.Load(n + fNext))
+	}
+	return 0, false
+}
+
+// Insert adds key/val, reporting true if the key was new (existing keys get
+// their value updated).
+func (t *Table) Insert(ac htm.Accessor, key, val int64) bool {
+	b := t.bucket(key)
+	n := mem.Addr(ac.Load(b))
+	for n != mem.Nil {
+		if ac.Load(n+fKey) == key {
+			ac.Store(n+fVal, val)
+			return false
+		}
+		n = mem.Addr(ac.Load(n + fNext))
+	}
+	nn := t.heap.Alloc(ac)
+	ac.Store(nn+fKey, key)
+	ac.Store(nn+fVal, val)
+	ac.Store(nn+fNext, ac.Load(b))
+	ac.Store(b, int64(nn))
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table) Delete(ac htm.Accessor, key int64) bool {
+	b := t.bucket(key)
+	prev := mem.Addr(0)
+	n := mem.Addr(ac.Load(b))
+	for n != mem.Nil {
+		next := mem.Addr(ac.Load(n + fNext))
+		if ac.Load(n+fKey) == key {
+			if prev == mem.Nil {
+				ac.Store(b, int64(next))
+			} else {
+				ac.Store(prev+fNext, int64(next))
+			}
+			t.heap.Free(ac, n)
+			return true
+		}
+		prev, n = n, next
+	}
+	return false
+}
+
+// Size counts all entries (test helper; use with a Raw accessor).
+func (t *Table) Size(ac htm.Accessor) int {
+	total := 0
+	for i := uint64(0); i < t.nb; i++ {
+		n := mem.Addr(ac.Load(t.buckets + mem.Addr(i)*mem.LineWords))
+		for n != mem.Nil {
+			total++
+			n = mem.Addr(ac.Load(n + fNext))
+		}
+	}
+	return total
+}

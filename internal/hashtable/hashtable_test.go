@@ -1,0 +1,140 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"elision/internal/core"
+	"elision/internal/htm"
+	"elision/internal/locks"
+	"elision/internal/sim"
+)
+
+func newTable(procs, buckets int) (*sim.Machine, *htm.Memory, *Table) {
+	m := sim.MustNew(sim.Config{Procs: procs, Seed: 5})
+	hm := htm.NewMemory(m, htm.Config{Words: 1 << 20})
+	return m, hm, New(hm, procs, buckets)
+}
+
+func TestBasicOps(t *testing.T) {
+	_, hm, tb := newTable(1, 16)
+	ac := htm.Raw{M: hm}
+	if !tb.Insert(ac, 1, 10) || !tb.Insert(ac, 17, 170) || !tb.Insert(ac, 33, 330) {
+		t.Fatal("fresh inserts reported existing")
+	}
+	for _, k := range []int64{1, 17, 33} {
+		if v, ok := tb.Lookup(ac, k); !ok || v != k*10 {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if tb.Insert(ac, 17, 99) {
+		t.Fatal("duplicate insert reported new")
+	}
+	if v, _ := tb.Lookup(ac, 17); v != 99 {
+		t.Fatal("value not updated")
+	}
+	if !tb.Delete(ac, 17) || tb.Delete(ac, 17) {
+		t.Fatal("delete semantics wrong")
+	}
+	if _, ok := tb.Lookup(ac, 17); ok {
+		t.Fatal("deleted key still present")
+	}
+	if got := tb.Size(ac); got != 2 {
+		t.Fatalf("size = %d, want 2", got)
+	}
+}
+
+func TestDeleteMiddleOfChain(t *testing.T) {
+	_, hm, tb := newTable(1, 1) // single bucket: everything chains
+	ac := htm.Raw{M: hm}
+	for k := int64(0); k < 10; k++ {
+		tb.Insert(ac, k, k)
+	}
+	for _, k := range []int64{5, 0, 9, 3} {
+		if !tb.Delete(ac, k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if got := tb.Size(ac); got != 6 {
+		t.Fatalf("size = %d, want 6", got)
+	}
+	for k := int64(0); k < 10; k++ {
+		_, ok := tb.Lookup(ac, k)
+		want := k != 5 && k != 0 && k != 9 && k != 3
+		if ok != want {
+			t.Fatalf("Lookup(%d) = %v, want %v", k, ok, want)
+		}
+	}
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, hm, tb := newTable(1, 32)
+		ac := htm.Raw{M: hm}
+		ref := map[int64]int64{}
+		for i := 0; i < 600; i++ {
+			k := int64(rng.Intn(80))
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Int63n(1000)
+				_, existed := ref[k]
+				if tb.Insert(ac, k, v) == existed {
+					return false
+				}
+				ref[k] = v
+			case 1:
+				_, existed := ref[k]
+				if tb.Delete(ac, k) != existed {
+					return false
+				}
+				delete(ref, k)
+			default:
+				v, ok := tb.Lookup(ac, k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		return tb.Size(ac) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUnderElision(t *testing.T) {
+	const procs, iters = 8, 50
+	m, hm, tb := newTable(procs, 64)
+	lk := locks.NewTTAS(hm)
+	s := core.NewSLR(hm, lk)
+	raw := htm.Raw{M: hm}
+	inserted, deleted := 0, 0
+	for i := 0; i < procs; i++ {
+		m.Go(func(p *sim.Proc) {
+			for k := 0; k < iters; k++ {
+				key := int64(p.RandN(128))
+				var did bool
+				if p.RandN(2) == 0 {
+					s.Critical(p, func(c htm.Ctx) { did = tb.Insert(c, key, key) })
+					if did {
+						inserted++
+					}
+				} else {
+					s.Critical(p, func(c htm.Ctx) { did = tb.Delete(c, key) })
+					if did {
+						deleted++
+					}
+				}
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Size(raw); got != inserted-deleted {
+		t.Fatalf("size = %d, want %d", got, inserted-deleted)
+	}
+}

@@ -1,0 +1,71 @@
+package htm
+
+import (
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// Accessor is the memory interface the simulated data structures (red-black
+// tree, hash table, STAMP kernels) are written against. A Ctx dispatches to
+// transactional or non-transactional accesses depending on whether its proc
+// is inside a transaction, so the same data-structure code runs under every
+// elision scheme. Raw bypasses costs and conflict tracking for setup.
+type Accessor interface {
+	// Load reads a word of simulated memory.
+	Load(a mem.Addr) int64
+	// Store writes a word of simulated memory.
+	Store(a mem.Addr, v int64)
+	// Pid identifies the accessing thread (for per-thread allocator arenas).
+	Pid() int
+}
+
+// Ctx is the live accessor for a proc: inside a critical section it routes
+// loads and stores through the current transaction (if any) or issues them
+// non-transactionally (when the scheme fell back to holding the lock).
+type Ctx struct {
+	P *sim.Proc
+	M *Memory
+}
+
+var _ Accessor = Ctx{}
+
+// Load implements Accessor.
+func (c Ctx) Load(a mem.Addr) int64 {
+	if tx := c.M.cur[c.P.ID()]; tx != nil {
+		return tx.Load(a)
+	}
+	return c.M.LoadNT(c.P, a)
+}
+
+// Store implements Accessor.
+func (c Ctx) Store(a mem.Addr, v int64) {
+	if tx := c.M.cur[c.P.ID()]; tx != nil {
+		tx.Store(a, v)
+		return
+	}
+	c.M.StoreNT(c.P, a, v)
+}
+
+// Pid implements Accessor.
+func (c Ctx) Pid() int { return c.P.ID() }
+
+// Work charges pure computation time (no memory traffic) to the proc.
+func (c Ctx) Work(cycles uint64) { c.P.Advance(cycles) }
+
+// Raw is a zero-cost, conflict-free accessor for machine setup (populating
+// data structures before the measured run). It must not be used while the
+// simulation is running transactions.
+type Raw struct {
+	M *Memory
+}
+
+var _ Accessor = Raw{}
+
+// Load implements Accessor.
+func (r Raw) Load(a mem.Addr) int64 { return r.M.store.Load(a) }
+
+// Store implements Accessor.
+func (r Raw) Store(a mem.Addr, v int64) { r.M.store.StoreWord(a, v) }
+
+// Pid implements Accessor. Setup code allocates from proc 0's arena.
+func (r Raw) Pid() int { return 0 }

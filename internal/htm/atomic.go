@@ -1,0 +1,62 @@
+package htm
+
+import (
+	"elision/internal/mem"
+	"elision/internal/sim"
+	"elision/internal/trace"
+)
+
+// Atomic executes body as a hardware transaction on proc p and returns its
+// status: XBEGIN / body / XEND, with any abort unwinding back here (the
+// fallback path). TSX-style flat nesting: if p is already in a transaction,
+// body simply extends it and the inner Atomic reports Committed (an abort
+// anywhere unwinds to the outermost Atomic instead).
+func (m *Memory) Atomic(p *sim.Proc, body func(tx *Tx)) Status {
+	if outer := m.cur[p.ID()]; outer != nil {
+		outer.depth++
+		defer func() { outer.depth-- }()
+		body(outer)
+		return Status{Committed: true, ConflictLine: -1, ConflictTid: -1}
+	}
+
+	p.Advance(m.cost.TxBegin)
+	m.tracer.Emit(p.Clock(), p.ID(), trace.TxBegin, 0)
+	tx := &Tx{
+		p:          p,
+		m:          m,
+		readLines:  make(map[int]struct{}, 16),
+		writeLines: make(map[int]struct{}, 8),
+		writeBuf:   make(map[mem.Addr]int64, 8),
+		elided:     make(map[mem.Addr]*elideEntry, 1),
+		begin:      p.Clock(),
+		doomLine:   -1,
+		doomTid:    -1,
+	}
+	m.cur[p.ID()] = tx
+
+	var st Status
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			ab, ok := r.(txAbortPanic)
+			if !ok {
+				// A genuine bug in the body: clean up and re-raise.
+				tx.cleanup()
+				m.cur[p.ID()] = nil
+				panic(r)
+			}
+			st = ab.st
+			tx.cleanup()
+			p.Advance(m.cost.TxAbort)
+			m.tracer.Emit(p.Clock(), p.ID(), trace.TxAbort, int64(st.Cause))
+		}()
+		body(tx)
+		st = tx.commit()
+		m.tracer.Emit(p.Clock(), p.ID(), trace.TxCommit, 0)
+	}()
+	m.cur[p.ID()] = nil
+	return st
+}

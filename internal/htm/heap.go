@@ -1,0 +1,91 @@
+package htm
+
+import (
+	"fmt"
+
+	"elision/internal/mem"
+)
+
+// Heap is a fixed-size-node allocator living (mostly) inside simulated
+// memory, in the spirit of a per-thread-caching allocator like jemalloc:
+//
+//   - Every node is one or more whole cache lines, so distinct nodes never
+//     share a line and conflict granularity matches node granularity.
+//   - Each simulated thread owns an arena and a free list, both of whose
+//     control words live in simulated memory and are accessed through the
+//     caller's Accessor. Inside a transaction, an allocation or free is
+//     therefore transactional: if the transaction aborts, the free-list and
+//     arena pointers roll back and no node leaks or double-frees.
+//   - When a thread's arena is exhausted it grabs a fresh chunk from the
+//     global bump frontier. The frontier itself is simulator metadata (not
+//     transactionally tracked); if a transaction aborts after grabbing a
+//     chunk the chunk is leaked, which only wastes simulated memory — size
+//     the Store generously.
+type Heap struct {
+	m         *Memory
+	nodeLines int
+	ctl       mem.Addr // per-proc control line: [arenaNext, arenaEnd, freeHead]
+	chunk     int      // nodes per arena refill
+}
+
+const (
+	ctlArenaNext = 0
+	ctlArenaEnd  = 1
+	ctlFreeHead  = 2
+)
+
+// NewHeap creates a heap of nodes spanning nodeLines cache lines each, with
+// per-proc arenas refilled chunkNodes at a time. Call during setup.
+func NewHeap(m *Memory, procs, nodeLines, chunkNodes int) *Heap {
+	if nodeLines < 1 || chunkNodes < 1 {
+		panic(fmt.Sprintf("htm: bad heap geometry nodeLines=%d chunkNodes=%d", nodeLines, chunkNodes))
+	}
+	h := &Heap{
+		m:         m,
+		nodeLines: nodeLines,
+		ctl:       m.store.AllocLines(procs),
+		chunk:     chunkNodes,
+	}
+	return h
+}
+
+// ctlAddr returns the control word addresses for proc pid.
+func (h *Heap) ctlAddr(pid int) mem.Addr {
+	return h.ctl + mem.Addr(pid*mem.LineWords)
+}
+
+// NodeWords returns the usable size of one node in words.
+func (h *Heap) NodeWords() int { return h.nodeLines * mem.LineWords }
+
+// Alloc returns a node for the accessor's thread. The node's words are NOT
+// zeroed (like malloc); callers initialize every field they use.
+func (h *Heap) Alloc(ac Accessor) mem.Addr {
+	ctl := h.ctlAddr(ac.Pid())
+	// Fast path: pop the thread-local free list.
+	if head := ac.Load(ctl + ctlFreeHead); head != int64(mem.Nil) {
+		next := ac.Load(mem.Addr(head))
+		ac.Store(ctl+ctlFreeHead, next)
+		return mem.Addr(head)
+	}
+	// Arena bump.
+	next := ac.Load(ctl + ctlArenaNext)
+	end := ac.Load(ctl + ctlArenaEnd)
+	if next == 0 || next >= end {
+		// Refill from the global frontier (simulator metadata, untracked).
+		n := h.m.store.AllocLines(h.nodeLines * h.chunk)
+		next = int64(n)
+		end = next + int64(h.chunk*h.NodeWords())
+		ac.Store(ctl+ctlArenaEnd, end)
+	}
+	ac.Store(ctl+ctlArenaNext, next+int64(h.NodeWords()))
+	return mem.Addr(next)
+}
+
+// Free returns a node to the accessor thread's free list. The node's first
+// word is overwritten with the free-list link.
+func (h *Heap) Free(ac Accessor, a mem.Addr) {
+	ctl := h.ctlAddr(ac.Pid())
+	head := ac.Load(ctl + ctlFreeHead)
+	ac.Store(a, head)
+	ac.Store(ctl+ctlFreeHead, int64(a))
+}

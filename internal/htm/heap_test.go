@@ -1,0 +1,169 @@
+package htm
+
+import (
+	"testing"
+
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+func TestHeapAllocDistinctLineAligned(t *testing.T) {
+	m, hm := newTestMachine(t, 1)
+	_ = m
+	h := NewHeap(hm, 1, 1, 4)
+	raw := Raw{M: hm}
+	seen := map[mem.Addr]bool{}
+	for i := 0; i < 20; i++ {
+		a := h.Alloc(raw)
+		if int(a)%mem.LineWords != 0 {
+			t.Fatalf("node %d unaligned: %d", i, a)
+		}
+		if seen[a] {
+			t.Fatalf("node %d reallocated while live: %d", i, a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestHeapFreeListReuse(t *testing.T) {
+	_, hm := newTestMachine(t, 1)
+	h := NewHeap(hm, 1, 1, 4)
+	raw := Raw{M: hm}
+	a := h.Alloc(raw)
+	h.Free(raw, a)
+	b := h.Alloc(raw)
+	if a != b {
+		t.Fatalf("freed node %d not reused (got %d)", a, b)
+	}
+}
+
+// TestHeapTransactionalRollback: an allocation (or free) inside an aborted
+// transaction must be undone — the free list and arena pointers live in
+// simulated memory precisely for this.
+func TestHeapTransactionalRollback(t *testing.T) {
+	m, hm := newTestMachine(t, 1)
+	h := NewHeap(hm, 1, 1, 4)
+	raw := Raw{M: hm}
+	warm := h.Alloc(raw) // ensure the arena control words exist
+	h.Free(raw, warm)
+	m.Go(func(p *sim.Proc) {
+		ctx := Ctx{P: p, M: hm}
+		var allocated mem.Addr
+		st := hm.Atomic(p, func(tx *Tx) {
+			allocated = h.Alloc(ctx)
+			tx.Abort(1)
+		})
+		if st.Committed {
+			t.Error("transaction committed unexpectedly")
+		}
+		// The aborted alloc rolled back: the same node is handed out again.
+		after := h.Alloc(ctx)
+		if after != allocated {
+			t.Errorf("aborted alloc leaked: got %d, want %d", after, allocated)
+		}
+		// And a free inside an aborted tx is undone too.
+		st = hm.Atomic(p, func(tx *Tx) {
+			h.Free(ctx, after)
+			tx.Abort(2)
+		})
+		if st.Committed {
+			t.Error("free-transaction committed unexpectedly")
+		}
+		next := h.Alloc(ctx)
+		if next == after {
+			t.Errorf("aborted free took effect: node %d recycled", next)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapPerThreadArenas: two threads allocating concurrently never hand
+// out the same node.
+func TestHeapPerThreadArenas(t *testing.T) {
+	m, hm := newTestMachine(t, 2)
+	h := NewHeap(hm, 2, 1, 4)
+	var nodes [2][]mem.Addr
+	for i := 0; i < 2; i++ {
+		i := i
+		m.Go(func(p *sim.Proc) {
+			ctx := Ctx{P: p, M: hm}
+			for k := 0; k < 30; k++ {
+				nodes[i] = append(nodes[i], h.Alloc(ctx))
+				p.Advance(5)
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[mem.Addr]int{}
+	for i := range nodes {
+		for _, a := range nodes[i] {
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("node %d allocated by both thread %d and %d", a, prev, i)
+			}
+			seen[a] = i
+		}
+	}
+}
+
+func TestHeapNodeWords(t *testing.T) {
+	_, hm := newTestMachine(t, 1)
+	h := NewHeap(hm, 1, 2, 4)
+	if got := h.NodeWords(); got != 2*mem.LineWords {
+		t.Fatalf("NodeWords = %d, want %d", got, 2*mem.LineWords)
+	}
+	raw := Raw{M: hm}
+	a := h.Alloc(raw)
+	b := h.Alloc(raw)
+	if b-a < mem.Addr(2*mem.LineWords) && a-b < mem.Addr(2*mem.LineWords) {
+		t.Fatalf("two-line nodes overlap: %d and %d", a, b)
+	}
+}
+
+func TestCtxDispatch(t *testing.T) {
+	m, hm := newTestMachine(t, 2)
+	a := hm.Store().AllocLines(1)
+	m.Go(func(p *sim.Proc) {
+		c := Ctx{P: p, M: hm}
+		// Outside a transaction: non-transactional semantics.
+		c.Store(a, 5)
+		if got := c.Load(a); got != 5 {
+			t.Errorf("NT dispatch: got %d", got)
+		}
+		// Inside a transaction: buffered until commit.
+		hm.Atomic(p, func(tx *Tx) {
+			c.Store(a, 9)
+			if got := c.Load(a); got != 9 {
+				t.Errorf("tx dispatch: got %d", got)
+			}
+			if got := hm.Store().Load(a); got != 5 {
+				t.Errorf("tx store leaked before commit: %d", got)
+			}
+		})
+		if got := c.Load(a); got != 9 {
+			t.Errorf("after commit: got %d", got)
+		}
+		if c.Pid() != p.ID() {
+			t.Errorf("Pid = %d, want %d", c.Pid(), p.ID())
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawAccessor(t *testing.T) {
+	_, hm := newTestMachine(t, 1)
+	raw := Raw{M: hm}
+	a := hm.Store().AllocLines(1)
+	raw.Store(a, 77)
+	if got := raw.Load(a); got != 77 {
+		t.Fatalf("Raw round trip: %d", got)
+	}
+	if raw.Pid() != 0 {
+		t.Fatalf("Raw.Pid = %d", raw.Pid())
+	}
+}

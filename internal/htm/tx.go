@@ -1,0 +1,351 @@
+package htm
+
+import (
+	"math/bits"
+
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// Tx is one hardware transaction in flight. A Tx is only valid inside the
+// body passed to Memory.Atomic, on the proc that started it.
+type Tx struct {
+	p *sim.Proc
+	m *Memory
+
+	readLines  map[int]struct{}
+	writeLines map[int]struct{}
+	writeBuf   map[mem.Addr]int64
+	writeOrder []mem.Addr // publication order (maps iterate randomly)
+	elided     map[mem.Addr]*elideEntry
+
+	begin  uint64 // clock at XBEGIN, for the transaction timer
+	doomed bool
+	// doomLine / doomTid record where and by whom the dooming conflict
+	// happened, surfaced in the abort status (§8's refined-conflict-
+	// management direction).
+	doomLine int
+	doomTid  int
+	depth    int // flat nesting depth beyond the outermost Atomic
+}
+
+// elideEntry tracks one XACQUIRE-elided location: the original memory value
+// (which XRELEASE must restore) and the current illusion value visible only
+// to this transaction.
+type elideEntry struct {
+	orig int64
+	cur  int64
+}
+
+// txAbortPanic unwinds the transaction body back to Atomic.
+type txAbortPanic struct {
+	st Status
+}
+
+// abortNow unwinds with the given cause. Retryability follows TSX: capacity
+// and HLE-restore aborts will fail again if simply retried.
+func (tx *Tx) abortNow(cause Cause, code int) {
+	retry := true
+	if cause == CauseCapacity || cause == CauseHLEMismatch {
+		retry = false
+	}
+	st := Status{Cause: cause, Code: code, Retry: retry, ConflictLine: -1, ConflictTid: -1}
+	if cause == CauseConflict {
+		st.ConflictLine = tx.doomLine
+		st.ConflictTid = tx.doomTid
+	}
+	panic(txAbortPanic{st})
+}
+
+// step is executed before every transactional access: a doomed transaction
+// aborts here (the deferred coherency abort), and spurious aborts fire here.
+// Half of all spurious aborts report the retry hint clear, modelling
+// eviction-flavoured aborts that Haswell marks as not-worth-retrying (the
+// other half look like transient interference).
+func (tx *Tx) step() {
+	if tx.doomed {
+		tx.abortNow(CauseConflict, 0)
+	}
+	if d := tx.m.cost.SpuriousDenom; d > 0 {
+		if tx.p.SiblingActive() {
+			// A shared L1 (SMT) multiplies eviction-flavoured aborts.
+			div := tx.m.cost.HTSpuriousDiv
+			if div == 0 {
+				div = 16
+			}
+			if d /= div; d == 0 {
+				d = 1
+			}
+		}
+		if tx.p.RandN(d) == 0 {
+			if tx.p.RandN(2) == 0 {
+				tx.abortNoRetry(CauseSpurious)
+			}
+			tx.abortNow(CauseSpurious, 0)
+		}
+	}
+	if t := tx.m.cost.TxTimer; t > 0 && tx.p.Clock()-tx.begin > t {
+		tx.abortNow(CauseInterrupt, 0)
+	}
+}
+
+// abortNoRetry unwinds with the retry hint clear.
+func (tx *Tx) abortNoRetry(cause Cause) {
+	panic(txAbortPanic{Status{Cause: cause, Retry: false, ConflictLine: -1, ConflictTid: -1}})
+}
+
+// Proc returns the proc executing this transaction.
+func (tx *Tx) Proc() *sim.Proc { return tx.p }
+
+// addRead registers line l in the read set, applying the conflict policy to
+// any conflicting writer and the capacity limit to ourselves.
+func (tx *Tx) addRead(l int) {
+	lm := &tx.m.meta[l]
+	if lm.writer >= 0 && int(lm.writer) != tx.p.ID() {
+		if tx.m.policy == CommitterWins && !tx.m.cur[lm.writer].doomed {
+			tx.doomLine, tx.doomTid = l, int(lm.writer)
+			tx.abortNow(CauseConflict, 0)
+		}
+		tx.m.doom(tx.p, tx.m.cur[lm.writer], l)
+	}
+	if _, ok := tx.readLines[l]; !ok {
+		if len(tx.readLines) >= tx.m.maxRead {
+			tx.abortNow(CauseCapacity, 0)
+		}
+		tx.readLines[l] = struct{}{}
+		lm.readers |= 1 << tx.p.ID()
+	}
+}
+
+// addWrite registers line l in the write set, resolving conflicts with all
+// other readers and writers of the line per the policy.
+func (tx *Tx) addWrite(l int) {
+	lm := &tx.m.meta[l]
+	if tx.m.policy == CommitterWins {
+		// Abort ourselves if any live transactional owner exists.
+		if lm.writer >= 0 && int(lm.writer) != tx.p.ID() && !tx.m.cur[lm.writer].doomed {
+			tx.doomLine, tx.doomTid = l, int(lm.writer)
+			tx.abortNow(CauseConflict, 0)
+		}
+		probe := lm.readers &^ (uint64(1) << tx.p.ID())
+		for probe != 0 {
+			tid := bits.TrailingZeros64(probe)
+			probe &^= 1 << tid
+			if !tx.m.cur[tid].doomed {
+				tx.doomLine, tx.doomTid = l, tid
+				tx.abortNow(CauseConflict, 0)
+			}
+		}
+	}
+	if lm.writer >= 0 && int(lm.writer) != tx.p.ID() {
+		tx.m.doom(tx.p, tx.m.cur[lm.writer], l)
+	}
+	me := uint64(1) << tx.p.ID()
+	mask := lm.readers &^ me
+	for mask != 0 {
+		tid := bits.TrailingZeros64(mask)
+		mask &^= 1 << tid
+		tx.m.doom(tx.p, tx.m.cur[tid], l)
+	}
+	if _, ok := tx.writeLines[l]; !ok {
+		if len(tx.writeLines) >= tx.m.maxWrite {
+			tx.abortNow(CauseCapacity, 0)
+		}
+		tx.writeLines[l] = struct{}{}
+		lm.writer = int16(tx.p.ID())
+	}
+}
+
+// Load performs a transactional load.
+func (tx *Tx) Load(a mem.Addr) int64 {
+	tx.m.chargeRead(tx.p, mem.LineOf(a))
+	tx.step()
+	if v, ok := tx.writeBuf[a]; ok {
+		return v
+	}
+	if e, ok := tx.elided[a]; ok {
+		return e.cur
+	}
+	tx.addRead(mem.LineOf(a))
+	return tx.m.store.Load(a)
+}
+
+// Store performs a transactional (buffered) store.
+func (tx *Tx) Store(a mem.Addr, v int64) {
+	tx.m.chargeWrite(tx.p, mem.LineOf(a))
+	tx.step()
+	if _, ok := tx.elided[a]; ok {
+		// Writing an elided lock word with a plain store inside the
+		// transaction breaks the elision illusion; TSX aborts.
+		tx.abortNow(CauseHLEMismatch, 0)
+	}
+	tx.addWrite(mem.LineOf(a))
+	if _, ok := tx.writeBuf[a]; !ok {
+		tx.writeOrder = append(tx.writeOrder, a)
+	}
+	tx.writeBuf[a] = v
+}
+
+// CAS performs a transactional compare-and-swap.
+func (tx *Tx) CAS(a mem.Addr, old, new int64) (int64, bool) {
+	prev := tx.Load(a)
+	if prev != old {
+		return prev, false
+	}
+	tx.Store(a, new)
+	return prev, true
+}
+
+// Swap performs a transactional exchange.
+func (tx *Tx) Swap(a mem.Addr, v int64) int64 {
+	prev := tx.Load(a)
+	tx.Store(a, v)
+	return prev
+}
+
+// FetchAdd performs a transactional fetch-and-add.
+func (tx *Tx) FetchAdd(a mem.Addr, delta int64) int64 {
+	prev := tx.Load(a)
+	tx.Store(a, prev+delta)
+	return prev
+}
+
+// Abort is XABORT: the transaction aborts itself with a software code.
+func (tx *Tx) Abort(code int) {
+	tx.abortNow(CauseExplicit, code)
+}
+
+// Wait models spinning inside a transaction on a location whose value is
+// frozen in the read set. The spinner parks on the line; the store that
+// eventually changes the value dooms this transaction (the line is in our
+// read set) and wakes us, upon which we abort with CauseConflict — exactly
+// the coherency abort a real HLE spinner suffers. If no store arrives
+// before the transaction timer expires, we abort with CauseInterrupt.
+func (tx *Tx) Wait(a mem.Addr) {
+	_ = tx.Load(a) // ensure the line is in the read set (and pay the access)
+	deadline := tx.begin + tx.m.cost.TxTimer
+	if tx.m.cost.TxTimer == 0 {
+		deadline = sim.NoDeadline
+	}
+	tx.m.store.AddWaiter(a, tx.p)
+	cause := tx.p.Block(deadline)
+	// A store to the awaited line consumed our registration; a timeout or a
+	// doom on a different line did not — drop it so a later store cannot
+	// spuriously wake a future wait (RemoveWaiter is a no-op when absent).
+	tx.m.store.RemoveWaiter(a, tx.p)
+	if cause == sim.WakeTimeout {
+		tx.abortNow(CauseInterrupt, 0)
+	}
+	if tx.doomed {
+		tx.abortNow(CauseConflict, 0)
+	}
+	// Woken without being doomed (e.g. a store to another word that raced
+	// with our registration): treat as an interrupt so callers never spin
+	// on a frozen value.
+	tx.abortNow(CauseInterrupt, 0)
+}
+
+// --- HLE elision ------------------------------------------------------------
+
+// ElideRMW performs an XACQUIRE-prefixed read-modify-write on a lock word:
+// the line enters the *read* set, the store is elided into an illusion value
+// that only this transaction observes, and the pre-elision value is
+// returned (that is what the instruction "reads").
+func (tx *Tx) ElideRMW(a mem.Addr, f func(old int64) int64) int64 {
+	tx.m.chargeRead(tx.p, mem.LineOf(a))
+	tx.step()
+	e, ok := tx.elided[a]
+	if !ok {
+		tx.addRead(mem.LineOf(a))
+		v := tx.m.store.Load(a)
+		e = &elideEntry{orig: v, cur: v}
+		tx.elided[a] = e
+	}
+	old := e.cur
+	e.cur = f(old)
+	return old
+}
+
+// ElideStore is an XACQUIRE store: elide the write of v.
+func (tx *Tx) ElideStore(a mem.Addr, v int64) {
+	tx.ElideRMW(a, func(int64) int64 { return v })
+}
+
+// ReleaseStore is an XRELEASE store: it must restore the elided location to
+// its original value or the transaction aborts (HLE's restore requirement).
+func (tx *Tx) ReleaseStore(a mem.Addr, v int64) {
+	tx.p.Advance(tx.m.cost.MemHit)
+	tx.step()
+	e, ok := tx.elided[a]
+	if !ok {
+		// XRELEASE without a matching XACQUIRE elision is just a store.
+		tx.Store(a, v)
+		return
+	}
+	if v != e.orig {
+		tx.abortNow(CauseHLEMismatch, 0)
+	}
+	e.cur = v
+}
+
+// ReleaseCAS is an XRELEASE-prefixed compare-and-swap, used by the
+// HLE-adapted ticket and CLH locks (Appendix A): on success the lock must be
+// restored to its original value. A failed CAS writes nothing and simply
+// reports false (the caller falls back to the standard release path).
+func (tx *Tx) ReleaseCAS(a mem.Addr, old, new int64) bool {
+	tx.p.Advance(tx.m.cost.MemHit)
+	tx.step()
+	e, ok := tx.elided[a]
+	if !ok {
+		_, swapped := tx.CAS(a, old, new)
+		return swapped
+	}
+	if e.cur != old {
+		return false
+	}
+	if new != e.orig {
+		tx.abortNow(CauseHLEMismatch, 0)
+	}
+	e.cur = new
+	return true
+}
+
+// --- Commit and cleanup ------------------------------------------------------
+
+// commit publishes the write buffer and ends the transaction. Called by
+// Atomic when the body returns.
+func (tx *Tx) commit() Status {
+	tx.p.Advance(tx.m.cost.TxCommit)
+	if tx.doomed {
+		tx.abortNow(CauseConflict, 0)
+	}
+	// HLE restore rule: every elided location must hold its original value
+	// at commit (the XRELEASE already happened or nothing changed).
+	for _, e := range tx.elided {
+		if e.cur != e.orig {
+			tx.abortNow(CauseHLEMismatch, 0)
+		}
+	}
+	for _, a := range tx.writeOrder {
+		// Requestor-wins guarantees no other transaction still holds our
+		// write lines; publish and wake any non-transactional spinners.
+		tx.m.store.StoreWord(a, tx.writeBuf[a])
+		tx.m.store.WakeWaiters(a, tx.p, sim.WakeStore, tx.m.cost.WakeLatency)
+	}
+	tx.cleanup()
+	return Status{Committed: true, ConflictLine: -1, ConflictTid: -1}
+}
+
+// cleanup removes this transaction's lines from the conflict-tracking
+// metadata. Safe to call after either commit or abort.
+func (tx *Tx) cleanup() {
+	me := uint64(1) << tx.p.ID()
+	for l := range tx.readLines {
+		tx.m.meta[l].readers &^= me
+	}
+	for l := range tx.writeLines {
+		if int(tx.m.meta[l].writer) == tx.p.ID() {
+			tx.m.meta[l].writer = -1
+		}
+	}
+}

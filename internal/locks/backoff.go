@@ -1,0 +1,85 @@
+package locks
+
+import (
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// BackoffTTAS is a TTAS spinlock with bounded exponential backoff after a
+// failed TAS — the classic contention-friendly refinement of the TTAS lock.
+// Its elision behaviour matches TTAS (same lock word protocol); the backoff
+// only shapes the non-speculative contention storm after aborts, trading
+// fairness for less coherency traffic.
+type BackoffTTAS struct {
+	m    *htm.Memory
+	word mem.Addr
+	// MinDelay/MaxDelay bound the backoff window in cycles.
+	MinDelay uint64
+	MaxDelay uint64
+}
+
+var (
+	_ Lock     = (*BackoffTTAS)(nil)
+	_ Elidable = (*BackoffTTAS)(nil)
+)
+
+// NewBackoffTTAS allocates a backoff TTAS lock.
+func NewBackoffTTAS(m *htm.Memory) *BackoffTTAS {
+	return &BackoffTTAS{
+		m:        m,
+		word:     m.Store().AllocLines(1),
+		MinDelay: 32,
+		MaxDelay: 2048,
+	}
+}
+
+// Name implements Lock.
+func (l *BackoffTTAS) Name() string { return "ttas-backoff" }
+
+// Lock implements Lock.
+func (l *BackoffTTAS) Lock(p *sim.Proc) {
+	delay := l.MinDelay
+	for {
+		l.WaitUntilFree(p)
+		if l.m.SwapNT(p, l.word, 1) == 0 {
+			return
+		}
+		p.Advance(delay/2 + p.RandN(delay/2+1))
+		if delay < l.MaxDelay {
+			delay *= 2
+		}
+	}
+}
+
+// Unlock implements Lock.
+func (l *BackoffTTAS) Unlock(p *sim.Proc) {
+	l.m.StoreNT(p, l.word, 0)
+}
+
+// HeldTx implements Lock.
+func (l *BackoffTTAS) HeldTx(tx *htm.Tx) bool {
+	return tx.Load(l.word) != 0
+}
+
+// WaitUntilFree implements Lock.
+func (l *BackoffTTAS) WaitUntilFree(p *sim.Proc) {
+	l.m.WaitCond(p, l.word, func(v int64) bool { return v == 0 })
+}
+
+// SpecAcquire implements Elidable (identical protocol to TTAS).
+func (l *BackoffTTAS) SpecAcquire(tx *htm.Tx) (bool, mem.Addr) {
+	old := tx.ElideRMW(l.word, func(int64) int64 { return 1 })
+	return old == 0, l.word
+}
+
+// SpecRelease implements Elidable.
+func (l *BackoffTTAS) SpecRelease(tx *htm.Tx) {
+	tx.ReleaseStore(l.word, 0)
+}
+
+// AcquireNT implements Elidable: one TAS, backoff is the caller's loop
+// concern on failure.
+func (l *BackoffTTAS) AcquireNT(p *sim.Proc) bool {
+	return l.m.SwapNT(p, l.word, 1) == 0
+}

@@ -1,0 +1,85 @@
+package locks
+
+import (
+	"testing"
+
+	"elision/internal/htm"
+	"elision/internal/sim"
+)
+
+func TestBackoffTTASMutualExclusion(t *testing.T) {
+	const procs, iters = 8, 40
+	m := sim.MustNew(sim.Config{Procs: procs, Seed: 29})
+	hm := htm.NewMemory(m, htm.Config{Words: 1 << 16, Cost: testCost()})
+	l := NewBackoffTTAS(hm)
+	ctr := hm.Store().AllocLines(1)
+	for i := 0; i < procs; i++ {
+		m.Go(func(p *sim.Proc) {
+			for k := 0; k < iters; k++ {
+				l.Lock(p)
+				v := hm.LoadNT(p, ctr)
+				p.Advance(15)
+				hm.StoreNT(p, ctr, v+1)
+				l.Unlock(p)
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hm.Store().Load(ctr); got != procs*iters {
+		t.Fatalf("counter = %d, want %d", got, procs*iters)
+	}
+}
+
+func TestBackoffTTASElides(t *testing.T) {
+	m := sim.MustNew(sim.Config{Procs: 1, Seed: 29})
+	hm := htm.NewMemory(m, htm.Config{Words: 1 << 14, Cost: testCost()})
+	l := NewBackoffTTAS(hm)
+	m.Go(func(p *sim.Proc) {
+		st := hm.Atomic(p, func(tx *htm.Tx) {
+			ok, _ := l.SpecAcquire(tx)
+			if !ok {
+				t.Error("SpecAcquire reported busy on a free lock")
+				tx.Abort(1)
+			}
+			l.SpecRelease(tx)
+		})
+		if !st.Committed {
+			t.Errorf("solo elision aborted: %+v", st)
+		}
+		if hm.LoadNT(p, l.word) != 0 {
+			t.Error("lock word disturbed by elided run")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackoffBounded: the backoff delay doubles but caps at MaxDelay, and a
+// contended acquisition eventually succeeds.
+func TestBackoffBounded(t *testing.T) {
+	m := sim.MustNew(sim.Config{Procs: 2, Seed: 31})
+	hm := htm.NewMemory(m, htm.Config{Words: 1 << 14, Cost: testCost()})
+	l := NewBackoffTTAS(hm)
+	l.MinDelay, l.MaxDelay = 16, 64
+	acquired := false
+	m.Go(func(p *sim.Proc) { // long holder
+		l.Lock(p)
+		p.Advance(20_000)
+		l.Unlock(p)
+	})
+	m.Go(func(p *sim.Proc) {
+		p.Advance(100)
+		l.Lock(p)
+		acquired = true
+		l.Unlock(p)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !acquired {
+		t.Fatal("contended acquire never succeeded")
+	}
+}

@@ -1,0 +1,161 @@
+package locks
+
+import (
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// CLH is the Craig / Landin-Hagersten queue lock (Figure 14): a tail pointer
+// to the most recent requester's node; each thread spins on its
+// *predecessor's* node and adopts it as its own node for the next round.
+// The standard release does not restore the tail, so plain CLH is
+// HLE-incompatible; CLHHLE (Figure 15) adds the paper's optimistic restore.
+type CLH struct {
+	m    *htm.Memory
+	tail mem.Addr
+	// myNode and pred are thread-local bookkeeping (registers/TLS on real
+	// hardware), so they live on the Go side, not in simulated memory.
+	myNode []mem.Addr
+	pred   []mem.Addr
+}
+
+// clhLocked is the node's flag offset (nodes are one line each).
+const clhLocked = 0
+
+var _ Lock = (*CLH)(nil)
+
+// NewCLH allocates a CLH lock: a tail word, an initial dummy node, and one
+// node per proc.
+func NewCLH(m *htm.Memory, procs int) *CLH {
+	l := &CLH{
+		m:      m,
+		tail:   m.Store().AllocLines(1),
+		myNode: make([]mem.Addr, procs),
+		pred:   make([]mem.Addr, procs),
+	}
+	dummy := m.Store().AllocLines(1) // locked = 0: lock free
+	m.Store().StoreWord(l.tail, int64(dummy))
+	for i := range l.myNode {
+		l.myNode[i] = m.Store().AllocLines(1)
+	}
+	return l
+}
+
+// Name implements Lock.
+func (l *CLH) Name() string { return "clh" }
+
+// TailAddr returns the tail pointer's address (for demonstrations and
+// white-box tests of the HLE restore requirement).
+func (l *CLH) TailAddr() mem.Addr { return l.tail }
+
+// NodeAddr returns proc pid's current queue node.
+func (l *CLH) NodeAddr(pid int) mem.Addr { return l.myNode[pid] }
+
+// Lock implements Lock.
+func (l *CLH) Lock(p *sim.Proc) {
+	my := l.myNode[p.ID()]
+	l.m.StoreNT(p, my+clhLocked, 1)
+	pred := mem.Addr(l.m.SwapNT(p, l.tail, int64(my)))
+	l.pred[p.ID()] = pred
+	l.m.WaitCond(p, pred+clhLocked, func(v int64) bool { return v == 0 })
+}
+
+// Unlock implements Lock: clear our flag and recycle the predecessor's node.
+func (l *CLH) Unlock(p *sim.Proc) {
+	my := l.myNode[p.ID()]
+	l.m.StoreNT(p, my+clhLocked, 0)
+	l.myNode[p.ID()] = l.pred[p.ID()]
+}
+
+// HeldTx implements Lock: the lock is held iff the tail node's flag is set.
+func (l *CLH) HeldTx(tx *htm.Tx) bool {
+	t := mem.Addr(tx.Load(l.tail))
+	return tx.Load(t+clhLocked) != 0
+}
+
+// WaitUntilFree implements Lock. The lock becomes free either by a store to
+// the tail node's flag (standard release) or by the tail itself moving (the
+// adapted restore CAS), so the waiter watches both lines and re-resolves the
+// tail on every wake.
+func (l *CLH) WaitUntilFree(p *sim.Proc) {
+	s := l.m.Store()
+	for {
+		t := mem.Addr(s.Load(l.tail))
+		free := false
+		l.m.WaitPred(p, []mem.Addr{l.tail, t + clhLocked}, func() bool {
+			cur := mem.Addr(s.Load(l.tail))
+			if cur != t {
+				return true // tail moved; re-resolve in the outer loop
+			}
+			free = s.Load(t+clhLocked) == 0
+			return free
+		})
+		if free {
+			return
+		}
+	}
+}
+
+// CLHHLE is the lock-elision-adjusted CLH lock (Figure 15): the release
+// optimistically CASes the tail from our node back to the predecessor,
+// erasing the acquisition's traces in a solo or speculative run.
+type CLHHLE struct {
+	CLH
+}
+
+var (
+	_ Lock     = (*CLHHLE)(nil)
+	_ Elidable = (*CLHHLE)(nil)
+)
+
+// NewCLHHLE allocates an HLE-adapted CLH lock.
+func NewCLHHLE(m *htm.Memory, procs int) *CLHHLE {
+	return &CLHHLE{CLH: *NewCLH(m, procs)}
+}
+
+// Name implements Lock.
+func (l *CLHHLE) Name() string { return "clh-hle" }
+
+// Unlock implements Lock with the adapted release (Figure 15 lines 8-11).
+func (l *CLHHLE) Unlock(p *sim.Proc) {
+	my := l.myNode[p.ID()]
+	pred := l.pred[p.ID()]
+	if _, ok := l.m.CASNT(p, l.tail, int64(my), int64(pred)); ok {
+		return // solo run: tail restored, node ownership unchanged
+	}
+	l.m.StoreNT(p, my+clhLocked, 0)
+	l.myNode[p.ID()] = pred
+}
+
+// SpecAcquire implements Elidable (Figure 15 lines 1-6 under XACQUIRE).
+func (l *CLHHLE) SpecAcquire(tx *htm.Tx) (bool, mem.Addr) {
+	pid := tx.Proc().ID()
+	my := l.myNode[pid]
+	tx.Store(my+clhLocked, 1)
+	pred := mem.Addr(tx.ElideRMW(l.tail, func(int64) int64 { return int64(my) }))
+	l.pred[pid] = pred
+	if tx.Load(pred+clhLocked) == 0 {
+		return true, 0
+	}
+	return false, pred + clhLocked
+}
+
+// SpecRelease implements Elidable: XRELEASE CAS of the tail from our node
+// back to the observed predecessor, the original value.
+func (l *CLHHLE) SpecRelease(tx *htm.Tx) {
+	pid := tx.Proc().ID()
+	if !tx.ReleaseCAS(l.tail, int64(l.myNode[pid]), int64(l.pred[pid])) {
+		tx.Abort(abortCodeLockProto)
+	}
+	// Undo the speculative flag so the committed state matches "never
+	// acquired": the node was never published, but its flag write would
+	// otherwise commit.
+	tx.Store(l.myNode[pid]+clhLocked, 0)
+}
+
+// AcquireNT implements Elidable: the re-executed SWAP enqueues for real.
+func (l *CLHHLE) AcquireNT(p *sim.Proc) bool {
+	l.Lock(p)
+	return true
+}

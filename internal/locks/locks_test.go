@@ -1,0 +1,375 @@
+package locks
+
+import (
+	"testing"
+
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+func testCost() sim.CostModel {
+	return sim.CostModel{
+		MemHit:      10,
+		MemMiss:     10,
+		TxBegin:     10,
+		TxCommit:    10,
+		TxAbort:     10,
+		SpinIter:    5,
+		WakeLatency: 5,
+		TxTimer:     100_000,
+	}
+}
+
+func newMachine(t *testing.T, procs int) (*sim.Machine, *htm.Memory) {
+	t.Helper()
+	m := sim.MustNew(sim.Config{Procs: procs, Seed: 11})
+	hm := htm.NewMemory(m, htm.Config{Words: 1 << 16, Cost: testCost()})
+	return m, hm
+}
+
+// allLocks builds one of each lock type over the given memory.
+func allLocks(hm *htm.Memory, procs int) []Lock {
+	return []Lock{
+		NewTTAS(hm),
+		NewMCS(hm, procs),
+		NewTicket(hm),
+		NewTicketHLE(hm, procs),
+		NewCLH(hm, procs),
+		NewCLHHLE(hm, procs),
+	}
+}
+
+// elidableLocks builds one of each HLE-capable lock type.
+func elidableLocks(hm *htm.Memory, procs int) []Elidable {
+	return []Elidable{
+		NewTTAS(hm),
+		NewMCS(hm, procs),
+		NewTicketHLE(hm, procs),
+		NewCLHHLE(hm, procs),
+	}
+}
+
+// lockFactories enumerates all lock constructors by name.
+func lockFactories(procs int) map[string]func(*htm.Memory) Lock {
+	return map[string]func(*htm.Memory) Lock{
+		"ttas":       func(hm *htm.Memory) Lock { return NewTTAS(hm) },
+		"mcs":        func(hm *htm.Memory) Lock { return NewMCS(hm, procs) },
+		"ticket":     func(hm *htm.Memory) Lock { return NewTicket(hm) },
+		"ticket-hle": func(hm *htm.Memory) Lock { return NewTicketHLE(hm, procs) },
+		"clh":        func(hm *htm.Memory) Lock { return NewCLH(hm, procs) },
+		"clh-hle":    func(hm *htm.Memory) Lock { return NewCLHHLE(hm, procs) },
+	}
+}
+
+// TestMutualExclusion: unsynchronized read-modify-write of a counter under
+// each lock must never lose an update.
+func TestMutualExclusion(t *testing.T) {
+	const procs, iters = 8, 40
+	for name, mk := range lockFactories(procs) {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			m := sim.MustNew(sim.Config{Procs: procs, Seed: 13})
+			hm := htm.NewMemory(m, htm.Config{Words: 1 << 16, Cost: testCost()})
+			ctr := hm.Store().AllocLines(1)
+			l := mk(hm)
+			for i := 0; i < procs; i++ {
+				m.Go(func(p *sim.Proc) {
+					for k := 0; k < iters; k++ {
+						l.Lock(p)
+						v := hm.LoadNT(p, ctr)
+						p.Advance(20 + p.RandN(30))
+						hm.StoreNT(p, ctr, v+1)
+						l.Unlock(p)
+						p.Advance(p.RandN(100))
+					}
+				})
+			}
+			if err := m.Run(); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if got := hm.Store().Load(ctr); got != procs*iters {
+				t.Fatalf("counter = %d, want %d (lost updates)", got, procs*iters)
+			}
+		})
+	}
+}
+
+// TestFIFOFairness: with staggered arrivals while the lock is held, fair
+// locks must grant the lock in arrival order.
+func TestFIFOFairness(t *testing.T) {
+	for _, name := range []string{"mcs", "ticket", "ticket-hle", "clh", "clh-hle"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			const procs = 6
+			m, hm := newMachine(t, procs)
+			var l Lock
+			switch name {
+			case "mcs":
+				l = NewMCS(hm, procs)
+			case "ticket":
+				l = NewTicket(hm)
+			case "ticket-hle":
+				l = NewTicketHLE(hm, procs)
+			case "clh":
+				l = NewCLH(hm, procs)
+			case "clh-hle":
+				l = NewCLHHLE(hm, procs)
+			}
+			var order []int
+			// Proc 0 grabs the lock and holds it long enough for 1..5 to
+			// queue up in id order.
+			m.Go(func(p *sim.Proc) {
+				l.Lock(p)
+				p.Advance(100_000)
+				l.Unlock(p)
+			})
+			for i := 1; i < procs; i++ {
+				i := i
+				m.Go(func(p *sim.Proc) {
+					p.Advance(uint64(1000 * i)) // staggered arrival
+					l.Lock(p)
+					order = append(order, i)
+					p.Advance(50)
+					l.Unlock(p)
+				})
+			}
+			if err := m.Run(); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for i := 1; i < len(order); i++ {
+				if order[i] < order[i-1] {
+					t.Fatalf("%s granted out of arrival order: %v", name, order)
+				}
+			}
+		})
+	}
+}
+
+// TestSpecAcquireSoloCommits: on a free lock, a speculative acquire/release
+// must commit and leave the lock word untouched (the elision illusion).
+func TestSpecAcquireSoloCommits(t *testing.T) {
+	const procs = 2
+	m, hm := newMachine(t, procs)
+	els := elidableLocks(hm, procs)
+	m.Go(func(p *sim.Proc) {
+		for _, l := range els {
+			st := hm.Atomic(p, func(tx *htm.Tx) {
+				ok, _ := l.SpecAcquire(tx)
+				if !ok {
+					t.Errorf("%s: SpecAcquire on free lock reported busy", l.Name())
+					tx.Abort(1)
+				}
+				if !l.HeldTx(tx) {
+					// Note: HeldTx reads the *real* state; under elision the
+					// lock still looks free to everyone, including a raw read
+					// of the lock word. (The illusion applies only to the
+					// elided RMW's own location value.)
+					_ = l // documented behaviour; nothing to assert here
+				}
+				p.Advance(100)
+				l.SpecRelease(tx)
+			})
+			if !st.Committed {
+				t.Errorf("%s: solo speculative critical section aborted: %+v", l.Name(), st)
+			}
+		}
+	})
+	// Second proc verifies no lock appears held afterwards.
+	m.Go(func(p *sim.Proc) {
+		p.Advance(1_000_000)
+		for _, l := range els {
+			st := hm.Atomic(p, func(tx *htm.Tx) {
+				if l.HeldTx(tx) {
+					t.Errorf("%s: lock appears held after speculative run", l.Name())
+				}
+			})
+			if !st.Committed {
+				t.Errorf("%s: HeldTx probe aborted: %+v", l.Name(), st)
+			}
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestStandardTicketNotElidable documents WHY the paper adapts the ticket
+// lock: eliding the standard ticket lock (F&A next, then owner++ release)
+// cannot restore the lock word, so the transaction must abort.
+func TestStandardTicketNotElidable(t *testing.T) {
+	const procs = 1
+	m, hm := newMachine(t, procs)
+	l := NewTicket(hm)
+	var st htm.Status
+	m.Go(func(p *sim.Proc) {
+		st = hm.Atomic(p, func(tx *htm.Tx) {
+			// XACQUIRE F&A next.
+			tx.ElideRMW(l.base+tkNext, func(v int64) int64 { return v + 1 })
+			// Standard release: owner++ — a plain transactional store that
+			// does NOT restore "next".
+			o := tx.Load(l.base + tkOwner)
+			tx.Store(l.base+tkOwner, o+1)
+		})
+	})
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Committed || st.Cause != htm.CauseHLEMismatch {
+		t.Fatalf("standard ticket under elision: %+v, want HLE-mismatch abort", st)
+	}
+}
+
+// TestSpecAcquireBusyAborts: speculating while the lock is held must end in
+// an abort (via the in-transaction wait), never a commit.
+func TestSpecAcquireBusyAborts(t *testing.T) {
+	const procs = 2
+	for _, mk := range []func(hm *htm.Memory) Elidable{
+		func(hm *htm.Memory) Elidable { return NewTTAS(hm) },
+		func(hm *htm.Memory) Elidable { return NewMCS(hm, procs) },
+		func(hm *htm.Memory) Elidable { return NewTicketHLE(hm, procs) },
+		func(hm *htm.Memory) Elidable { return NewCLHHLE(hm, procs) },
+	} {
+		m, hm := newMachine(t, procs)
+		l := mk(hm)
+		t.Run(l.Name(), func(t *testing.T) {
+			var st htm.Status
+			holderDone := false
+			m.Go(func(p *sim.Proc) { // holder
+				l.Lock(p)
+				p.Advance(20_000)
+				l.Unlock(p)
+				holderDone = true
+			})
+			m.Go(func(p *sim.Proc) { // speculator arrives mid-hold
+				p.Advance(2_000)
+				st = hm.Atomic(p, func(tx *htm.Tx) {
+					ok, wait := l.SpecAcquire(tx)
+					if ok {
+						t.Errorf("%s: SpecAcquire on held lock reported free", l.Name())
+						tx.Abort(1)
+					}
+					tx.Wait(wait)
+				})
+			})
+			if err := m.Run(); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if st.Committed {
+				t.Fatalf("%s: speculation on a held lock committed", l.Name())
+			}
+			if !holderDone {
+				t.Fatalf("%s: holder never completed", l.Name())
+			}
+		})
+	}
+}
+
+// TestHeldTx: transactional lock-state reads must reflect a real holder.
+func TestHeldTx(t *testing.T) {
+	const procs = 2
+	m, hm := newMachine(t, procs)
+	ls := allLocks(hm, procs)
+	var held, free []string
+	m.Go(func(p *sim.Proc) { // holder: acquire all, hold, release all
+		for _, l := range ls {
+			l.Lock(p)
+		}
+		p.Advance(50_000)
+		for _, l := range ls {
+			l.Unlock(p)
+		}
+	})
+	m.Go(func(p *sim.Proc) {
+		p.Advance(10_000) // while everything is held
+		for _, l := range ls {
+			l := l
+			hm.Atomic(p, func(tx *htm.Tx) {
+				if l.HeldTx(tx) {
+					held = append(held, l.Name())
+				}
+			})
+		}
+		p.Advance(200_000) // after release
+		for _, l := range ls {
+			l := l
+			hm.Atomic(p, func(tx *htm.Tx) {
+				if !l.HeldTx(tx) {
+					free = append(free, l.Name())
+				}
+			})
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(held) != len(ls) {
+		t.Errorf("HeldTx saw held for %v, want all of %d locks", held, len(ls))
+	}
+	if len(free) != len(ls) {
+		t.Errorf("HeldTx saw free for %v, want all of %d locks", free, len(ls))
+	}
+}
+
+// TestWaitUntilFree returns promptly once the holder releases, for every
+// lock type in sequence.
+func TestWaitUntilFree(t *testing.T) {
+	const procs = 2
+	m, hm := newMachine(t, procs)
+	ls := allLocks(hm, procs)
+	var resumed int
+	m.Go(func(p *sim.Proc) {
+		for _, l := range ls {
+			l.Lock(p)
+			p.Advance(5_000)
+			l.Unlock(p)
+			p.Advance(50_000)
+		}
+	})
+	m.Go(func(p *sim.Proc) {
+		p.Advance(500)
+		for _, l := range ls {
+			l.WaitUntilFree(p)
+			resumed++
+			p.Advance(50_000)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if resumed != len(ls) {
+		t.Fatalf("WaitUntilFree resumed %d times, want %d", resumed, len(ls))
+	}
+}
+
+// TestLockStress mixes all lock types guarding separate counters.
+func TestLockStress(t *testing.T) {
+	const procs, iters = 8, 25
+	m, hm := newMachine(t, procs)
+	ls := allLocks(hm, procs)
+	ctrs := make([]int64, len(ls))
+	base := hm.Store().AllocLines(len(ls))
+	at := func(i int) mem.Addr { return base + mem.Addr(i*mem.LineWords) }
+	for i := 0; i < procs; i++ {
+		m.Go(func(p *sim.Proc) {
+			for k := 0; k < iters; k++ {
+				li := int(p.RandN(uint64(len(ls))))
+				l := ls[li]
+				l.Lock(p)
+				v := hm.LoadNT(p, at(li))
+				p.Advance(10)
+				hm.StoreNT(p, at(li), v+1)
+				l.Unlock(p)
+				ctrs[li]++
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range ls {
+		if got := hm.Store().Load(at(i)); got != ctrs[i] {
+			t.Fatalf("%s: counter %d, want %d", ls[i].Name(), got, ctrs[i])
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package locks
+
+import (
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// MCS is the Mellor-Crummey/Scott queue lock: a tail pointer plus one queue
+// node per thread, each spinning on its own node's flag. It is fair (FIFO)
+// and, unlike ticket and CLH, already HLE-compatible: a solo run's release
+// (CAS tail back to nil) restores the lock word exactly.
+type MCS struct {
+	m     *htm.Memory
+	tail  mem.Addr
+	nodes mem.Addr // one line per proc: [locked, next]
+}
+
+// Node field offsets within a proc's MCS node.
+const (
+	mcsLocked = 0
+	mcsNext   = 1
+)
+
+var (
+	_ Lock     = (*MCS)(nil)
+	_ Elidable = (*MCS)(nil)
+)
+
+// NewMCS allocates an MCS lock (tail word plus per-proc nodes, one line
+// each so nodes never share cache lines).
+func NewMCS(m *htm.Memory, procs int) *MCS {
+	return &MCS{
+		m:     m,
+		tail:  m.Store().AllocLines(1),
+		nodes: m.Store().AllocLines(procs),
+	}
+}
+
+// node returns the queue node address for proc pid.
+func (l *MCS) node(pid int) mem.Addr {
+	return l.nodes + mem.Addr(pid*mem.LineWords)
+}
+
+// Name implements Lock.
+func (l *MCS) Name() string { return "mcs" }
+
+// Lock implements Lock.
+func (l *MCS) Lock(p *sim.Proc) {
+	my := l.node(p.ID())
+	l.m.StoreNT(p, my+mcsLocked, 1)
+	l.m.StoreNT(p, my+mcsNext, 0)
+	pred := mem.Addr(l.m.SwapNT(p, l.tail, int64(my)))
+	if pred == mem.Nil {
+		return
+	}
+	l.m.StoreNT(p, pred+mcsNext, int64(my))
+	l.m.WaitCond(p, my+mcsLocked, func(v int64) bool { return v == 0 })
+}
+
+// Unlock implements Lock.
+func (l *MCS) Unlock(p *sim.Proc) {
+	my := l.node(p.ID())
+	if l.m.LoadNT(p, my+mcsNext) == 0 {
+		if _, ok := l.m.CASNT(p, l.tail, int64(my), 0); ok {
+			return
+		}
+		// A successor is between the SWAP and its next-pointer store.
+		l.m.WaitCond(p, my+mcsNext, func(v int64) bool { return v != 0 })
+	}
+	succ := mem.Addr(l.m.LoadNT(p, my+mcsNext))
+	l.m.StoreNT(p, succ+mcsLocked, 0)
+}
+
+// HeldTx implements Lock: the lock is free iff the queue is empty.
+func (l *MCS) HeldTx(tx *htm.Tx) bool {
+	return tx.Load(l.tail) != 0
+}
+
+// WaitUntilFree implements Lock.
+func (l *MCS) WaitUntilFree(p *sim.Proc) {
+	l.m.WaitCond(p, l.tail, func(v int64) bool { return v == 0 })
+}
+
+// SpecAcquire implements Elidable: XACQUIRE-elided SWAP of the tail. If the
+// queue was empty the thread proceeds under the illusion that tail points
+// to its node. Otherwise it follows the real MCS protocol transactionally —
+// linking behind the observed predecessor and spinning on its own flag —
+// which on real hardware ends in a coherency abort when the predecessor
+// touches the linkage (§4's analysis of the MCS lemming effect).
+func (l *MCS) SpecAcquire(tx *htm.Tx) (bool, mem.Addr) {
+	my := l.node(tx.Proc().ID())
+	old := tx.ElideRMW(l.tail, func(int64) int64 { return int64(my) })
+	if old == 0 {
+		return true, 0
+	}
+	pred := mem.Addr(old)
+	tx.Store(my+mcsLocked, 1)
+	tx.Store(my+mcsNext, 0)
+	tx.Store(pred+mcsNext, int64(my))
+	return false, my + mcsLocked
+}
+
+// SpecRelease implements Elidable: XRELEASE CAS of the tail from our node
+// back to nil — restoring the pre-acquire state, as HLE requires.
+func (l *MCS) SpecRelease(tx *htm.Tx) {
+	my := l.node(tx.Proc().ID())
+	if !tx.ReleaseCAS(l.tail, int64(my), 0) {
+		// Unreachable after a successful SpecAcquire (the illusion holds);
+		// abort defensively rather than corrupt the queue.
+		tx.Abort(abortCodeLockProto)
+	}
+}
+
+// AcquireNT implements Elidable: the re-executed SWAP enqueues for real, so
+// the thread is committed to acquiring the lock non-speculatively.
+func (l *MCS) AcquireNT(p *sim.Proc) bool {
+	l.Lock(p)
+	return true
+}
+
+// abortCodeLockProto is the XABORT code for "lock protocol invariant broken
+// inside a speculative path" (should not occur; aids debugging).
+const abortCodeLockProto = 0x7F

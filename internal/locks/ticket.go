@@ -1,0 +1,131 @@
+package locks
+
+import (
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// Ticket is the classic fair ticket lock (Figure 12): fetch-and-add a
+// "next" counter to take a ticket, wait until "owner" reaches it. The
+// standard release (owner++) does NOT restore the lock word, so the
+// standard ticket lock is incompatible with HLE; see TicketHLE for the
+// paper's adapted variant (Figure 13).
+//
+// Both counters share one cache line, as in the Linux kernel's ticket
+// spinlock that the paper cites.
+type Ticket struct {
+	m    *htm.Memory
+	base mem.Addr // [next, owner] on one line
+}
+
+// Field offsets.
+const (
+	tkNext  = 0
+	tkOwner = 1
+)
+
+var _ Lock = (*Ticket)(nil)
+
+// NewTicket allocates a ticket lock.
+func NewTicket(m *htm.Memory) *Ticket {
+	return &Ticket{m: m, base: m.Store().AllocLines(1)}
+}
+
+// Name implements Lock.
+func (l *Ticket) Name() string { return "ticket" }
+
+// NextAddr returns the address of the "next" counter (for demonstrations
+// and white-box tests of the HLE restore requirement).
+func (l *Ticket) NextAddr() mem.Addr { return l.base + tkNext }
+
+// OwnerAddr returns the address of the "owner" counter.
+func (l *Ticket) OwnerAddr() mem.Addr { return l.base + tkOwner }
+
+// Lock implements Lock.
+func (l *Ticket) Lock(p *sim.Proc) {
+	t := l.m.FetchAddNT(p, l.base+tkNext, 1)
+	l.m.WaitCond(p, l.base+tkOwner, func(v int64) bool { return v == t })
+}
+
+// Unlock implements Lock.
+func (l *Ticket) Unlock(p *sim.Proc) {
+	o := l.m.LoadNT(p, l.base+tkOwner)
+	l.m.StoreNT(p, l.base+tkOwner, o+1)
+}
+
+// HeldTx implements Lock: held iff tickets are outstanding.
+func (l *Ticket) HeldTx(tx *htm.Tx) bool {
+	return tx.Load(l.base+tkNext) != tx.Load(l.base+tkOwner)
+}
+
+// WaitUntilFree implements Lock. Both counters share one line, so a store
+// to either (a standard owner++ release or the adapted CAS on next) wakes
+// the waiter to re-test next == owner.
+func (l *Ticket) WaitUntilFree(p *sim.Proc) {
+	s := l.m.Store()
+	l.m.WaitPred(p, []mem.Addr{l.base}, func() bool {
+		return s.Load(l.base+tkNext) == s.Load(l.base+tkOwner)
+	})
+}
+
+// TicketHLE is the paper's lock-elision-adjusted ticket lock (Figure 13):
+// the release first tries to CAS "next" back down from owner+1 to owner,
+// which in a solo (or speculative) run removes all traces of the
+// acquisition and thereby satisfies HLE's restore requirement; only if that
+// CAS fails (other requesters exist) does it advance "owner" as usual.
+type TicketHLE struct {
+	Ticket
+	ticket []int64 // per-proc ticket taken by the current speculative acquire
+}
+
+var (
+	_ Lock     = (*TicketHLE)(nil)
+	_ Elidable = (*TicketHLE)(nil)
+)
+
+// NewTicketHLE allocates an HLE-adapted ticket lock.
+func NewTicketHLE(m *htm.Memory, procs int) *TicketHLE {
+	return &TicketHLE{
+		Ticket: Ticket{m: m, base: m.Store().AllocLines(1)},
+		ticket: make([]int64, procs),
+	}
+}
+
+// Name implements Lock.
+func (l *TicketHLE) Name() string { return "ticket-hle" }
+
+// Unlock implements Lock with the adapted release.
+func (l *TicketHLE) Unlock(p *sim.Proc) {
+	o := l.m.LoadNT(p, l.base+tkOwner)
+	if _, ok := l.m.CASNT(p, l.base+tkNext, o+1, o); ok {
+		return // sole requester: acquisition traces removed
+	}
+	l.m.StoreNT(p, l.base+tkOwner, o+1)
+}
+
+// SpecAcquire implements Elidable: XACQUIRE fetch-and-add of "next". If the
+// read ticket equals "owner" the critical section proceeds; otherwise the
+// thread spins transactionally on the owner word until the coherency abort.
+func (l *TicketHLE) SpecAcquire(tx *htm.Tx) (bool, mem.Addr) {
+	old := tx.ElideRMW(l.base+tkNext, func(v int64) int64 { return v + 1 })
+	l.ticket[tx.Proc().ID()] = old
+	owner := tx.Load(l.base + tkOwner)
+	return owner == old, l.base + tkOwner
+}
+
+// SpecRelease implements Elidable: XRELEASE CAS of "next" from ticket+1
+// back to ticket, restoring the original value (Figure 13 line 8).
+func (l *TicketHLE) SpecRelease(tx *htm.Tx) {
+	t := l.ticket[tx.Proc().ID()]
+	if !tx.ReleaseCAS(l.base+tkNext, t+1, t) {
+		tx.Abort(abortCodeLockProto)
+	}
+}
+
+// AcquireNT implements Elidable: the re-executed fetch-and-add takes a real
+// ticket, committing the thread to a fair, blocking acquisition.
+func (l *TicketHLE) AcquireNT(p *sim.Proc) bool {
+	l.Lock(p)
+	return true
+}

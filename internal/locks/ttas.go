@@ -1,0 +1,77 @@
+package locks
+
+import (
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// TTAS is the test-and-test-and-set spinlock of Figure 1: a single word,
+// 0 = free, 1 = held. It is unfair but recovers well from HLE aborts.
+type TTAS struct {
+	m    *htm.Memory
+	word mem.Addr
+}
+
+var (
+	_ Lock     = (*TTAS)(nil)
+	_ Elidable = (*TTAS)(nil)
+)
+
+// NewTTAS allocates a TTAS lock on its own cache line.
+func NewTTAS(m *htm.Memory) *TTAS {
+	return &TTAS{m: m, word: m.Store().AllocLines(1)}
+}
+
+// Name implements Lock.
+func (l *TTAS) Name() string { return "ttas" }
+
+// WordAddr returns the lock word's address (for demonstrations and
+// white-box tests).
+func (l *TTAS) WordAddr() mem.Addr { return l.word }
+
+// Lock implements Lock: spin while held, then TAS; repeat on failure.
+func (l *TTAS) Lock(p *sim.Proc) {
+	for {
+		l.WaitUntilFree(p)
+		if l.m.SwapNT(p, l.word, 1) == 0 {
+			return
+		}
+	}
+}
+
+// Unlock implements Lock.
+func (l *TTAS) Unlock(p *sim.Proc) {
+	l.m.StoreNT(p, l.word, 0)
+}
+
+// HeldTx implements Lock.
+func (l *TTAS) HeldTx(tx *htm.Tx) bool {
+	return tx.Load(l.word) != 0
+}
+
+// WaitUntilFree implements Lock.
+func (l *TTAS) WaitUntilFree(p *sim.Proc) {
+	l.m.WaitCond(p, l.word, func(v int64) bool { return v == 0 })
+}
+
+// SpecAcquire implements Elidable: XACQUIRE test-and-set. The returned old
+// value is what the instruction "read"; if the lock was actually held, the
+// thread spins inside the transaction on the lock word (Figure 1's inner
+// while loop under elision) until the coherency abort arrives.
+func (l *TTAS) SpecAcquire(tx *htm.Tx) (bool, mem.Addr) {
+	old := tx.ElideRMW(l.word, func(int64) int64 { return 1 })
+	return old == 0, l.word
+}
+
+// SpecRelease implements Elidable: XRELEASE store of 0, restoring the
+// pre-acquire value.
+func (l *TTAS) SpecRelease(tx *htm.Tx) {
+	tx.ReleaseStore(l.word, 0)
+}
+
+// AcquireNT implements Elidable: the re-executed TAS either takes the lock
+// or observes it held and fails.
+func (l *TTAS) AcquireNT(p *sim.Proc) bool {
+	return l.m.SwapNT(p, l.word, 1) == 0
+}

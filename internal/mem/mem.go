@@ -1,0 +1,139 @@
+// Package mem provides the simulated shared memory for the machine: a
+// word-addressed store of int64 values grouped into cache lines, a bump
+// allocator with a free list, and per-line waiter queues used to model
+// threads spinning on a location.
+//
+// mem knows nothing about transactions; the htm package layers conflict
+// detection on top of these lines. All methods must be called from the
+// currently running sim.Proc (the single-runner invariant makes plain,
+// lock-free Go data safe here).
+package mem
+
+import (
+	"fmt"
+
+	"elision/internal/sim"
+)
+
+// Addr is a word address in simulated memory. Address 0 is reserved as the
+// nil pointer; the allocator never returns it.
+type Addr int64
+
+// Nil is the null simulated pointer.
+const Nil Addr = 0
+
+// LineWords is the number of 8-byte words per cache line (64-byte lines).
+const LineWords = 8
+
+const lineShift = 3 // log2(LineWords)
+
+// Store is the simulated physical memory.
+type Store struct {
+	words   []int64
+	waiters [][]*sim.Proc // line id -> blocked procs
+	brk     Addr          // bump-allocation frontier
+}
+
+// NewStore creates a memory of the given size in words, rounded up to a
+// whole number of lines.
+func NewStore(words int) *Store {
+	if words < LineWords {
+		words = LineWords
+	}
+	lines := (words + LineWords - 1) / LineWords
+	return &Store{
+		words:   make([]int64, lines*LineWords),
+		waiters: make([][]*sim.Proc, lines),
+		brk:     LineWords, // burn line 0 so Addr 0 stays nil
+	}
+}
+
+// Words returns the memory size in words.
+func (s *Store) Words() int { return len(s.words) }
+
+// Lines returns the memory size in cache lines.
+func (s *Store) Lines() int { return len(s.waiters) }
+
+// LineOf maps a word address to its cache-line index.
+func LineOf(a Addr) int { return int(a >> lineShift) }
+
+// check panics on wild addresses: simulated programs dereferencing garbage
+// is a bug in this repository, not a recoverable condition.
+func (s *Store) check(a Addr) {
+	if a <= 0 || int(a) >= len(s.words) {
+		panic(fmt.Sprintf("mem: wild address %d (memory has %d words)", a, len(s.words)))
+	}
+}
+
+// Load reads a word with no coherency side effects. Transactional and
+// non-transactional semantics (conflict detection, costs) live in htm.
+func (s *Store) Load(a Addr) int64 {
+	s.check(a)
+	return s.words[a]
+}
+
+// StoreWord writes a word with no coherency side effects.
+func (s *Store) StoreWord(a Addr, v int64) {
+	s.check(a)
+	s.words[a] = v
+}
+
+// Alloc returns n fresh words of zeroed memory. It never fails; running out
+// of simulated memory panics, since benchmark sizing is static.
+func (s *Store) Alloc(n int) Addr {
+	if n <= 0 {
+		panic("mem: Alloc of non-positive size")
+	}
+	a := s.brk
+	s.brk += Addr(n)
+	if int(s.brk) > len(s.words) {
+		panic(fmt.Sprintf("mem: out of simulated memory (brk %d > %d words); size the Store larger", s.brk, len(s.words)))
+	}
+	return a
+}
+
+// AllocLines returns n fresh cache lines, line-aligned. Data structures
+// allocate nodes line-aligned so that distinct nodes never share a line:
+// conflict granularity then matches node granularity, as it (mostly) does
+// for heap allocators on real hardware.
+func (s *Store) AllocLines(n int) Addr {
+	if rem := s.brk % LineWords; rem != 0 {
+		s.brk += LineWords - rem
+	}
+	return s.Alloc(n * LineWords)
+}
+
+// AddWaiter registers p as blocked on the line containing a. The caller must
+// subsequently call p.Block; any write to the line wakes all its waiters.
+func (s *Store) AddWaiter(a Addr, p *sim.Proc) {
+	l := LineOf(a)
+	s.waiters[l] = append(s.waiters[l], p)
+}
+
+// RemoveWaiter deregisters p from the line containing a (used after a
+// timeout wake, so a later store does not wake a proc that no longer waits).
+func (s *Store) RemoveWaiter(a Addr, p *sim.Proc) {
+	l := LineOf(a)
+	ws := s.waiters[l]
+	for i, q := range ws {
+		if q == p {
+			ws[i] = ws[len(ws)-1]
+			s.waiters[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+// WakeWaiters wakes every proc blocked on the line containing a, as cause,
+// with the given coherency latency. Called by htm on every visible store.
+func (s *Store) WakeWaiters(a Addr, by *sim.Proc, cause sim.WakeCause, latency uint64) {
+	l := LineOf(a)
+	ws := s.waiters[l]
+	if len(ws) == 0 {
+		return
+	}
+	for _, q := range ws {
+		by.Wake(q, cause, latency)
+	}
+	s.waiters[l] = ws[:0]
+}

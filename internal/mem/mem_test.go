@@ -1,0 +1,168 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"elision/internal/sim"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	s := NewStore(1024)
+	a := s.Alloc(4)
+	s.StoreWord(a, 42)
+	s.StoreWord(a+1, -7)
+	if got := s.Load(a); got != 42 {
+		t.Fatalf("Load(a) = %d, want 42", got)
+	}
+	if got := s.Load(a + 1); got != -7 {
+		t.Fatalf("Load(a+1) = %d, want -7", got)
+	}
+}
+
+func TestAllocNeverReturnsNil(t *testing.T) {
+	s := NewStore(4096)
+	for i := 0; i < 100; i++ {
+		if a := s.Alloc(3); a == Nil {
+			t.Fatal("Alloc returned the nil address")
+		}
+	}
+}
+
+func TestAllocLinesAligned(t *testing.T) {
+	s := NewStore(4096)
+	s.Alloc(3) // misalign the frontier
+	for i := 0; i < 20; i++ {
+		a := s.AllocLines(1)
+		if int(a)%LineWords != 0 {
+			t.Fatalf("AllocLines returned unaligned address %d", a)
+		}
+	}
+}
+
+func TestDistinctAllocationsDoNotOverlap(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		s := NewStore(1 << 16)
+		type region struct{ a, n Addr }
+		var regions []region
+		for _, sz := range sizes {
+			n := Addr(sz%16 + 1)
+			a := s.Alloc(int(n))
+			for _, r := range regions {
+				if a < r.a+r.n && r.a < a+n {
+					return false
+				}
+			}
+			regions = append(regions, region{a, n})
+			if len(regions) > 200 {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(7) != 0 {
+		t.Fatal("words 0..7 must share line 0")
+	}
+	if LineOf(8) != 1 {
+		t.Fatal("word 8 must start line 1")
+	}
+	a := Addr(12345)
+	if LineOf(a) != int(a)/LineWords {
+		t.Fatal("LineOf disagrees with integer division")
+	}
+}
+
+func TestWildAddressPanics(t *testing.T) {
+	s := NewStore(64)
+	for _, a := range []Addr{0, -1, 1 << 30} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Load(%d) did not panic", a)
+				}
+			}()
+			s.Load(a)
+		}()
+	}
+}
+
+func TestWaitersWokenByStore(t *testing.T) {
+	m := sim.MustNew(sim.Config{Procs: 2, Seed: 1})
+	s := NewStore(1024)
+	a := s.Alloc(1)
+	var woke sim.WakeCause
+	waiter := m.Go(func(p *sim.Proc) {
+		s.AddWaiter(a, p)
+		woke = p.Block(sim.NoDeadline)
+	})
+	_ = waiter
+	m.Go(func(p *sim.Proc) {
+		p.Advance(100)
+		s.StoreWord(a, 1)
+		s.WakeWaiters(a, p, sim.WakeStore, 10)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if woke != sim.WakeStore {
+		t.Fatalf("woke = %v, want WakeStore", woke)
+	}
+}
+
+func TestRemoveWaiter(t *testing.T) {
+	m := sim.MustNew(sim.Config{Procs: 2, Seed: 1})
+	s := NewStore(1024)
+	a := s.Alloc(1)
+	var causes []sim.WakeCause
+	m.Go(func(p *sim.Proc) {
+		s.AddWaiter(a, p)
+		causes = append(causes, p.Block(50)) // times out
+		s.RemoveWaiter(a, p)
+		causes = append(causes, p.Block(200)) // must NOT be woken by the store
+	})
+	m.Go(func(p *sim.Proc) {
+		p.Advance(100)
+		s.WakeWaiters(a, p, sim.WakeStore, 0)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []sim.WakeCause{sim.WakeTimeout, sim.WakeTimeout}
+	for i := range want {
+		if causes[i] != want[i] {
+			t.Fatalf("causes = %v, want %v", causes, want)
+		}
+	}
+}
+
+func TestWakeWaitersClearsList(t *testing.T) {
+	m := sim.MustNew(sim.Config{Procs: 3, Seed: 1})
+	s := NewStore(1024)
+	a := s.Alloc(1)
+	wokenCount := 0
+	for i := 0; i < 2; i++ {
+		m.Go(func(p *sim.Proc) {
+			s.AddWaiter(a, p)
+			if p.Block(sim.NoDeadline) == sim.WakeStore {
+				wokenCount++
+			}
+		})
+	}
+	m.Go(func(p *sim.Proc) {
+		p.Advance(10)
+		s.WakeWaiters(a, p, sim.WakeStore, 5)
+		s.WakeWaiters(a, p, sim.WakeStore, 5) // second call: list empty, no-op
+	})
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if wokenCount != 2 {
+		t.Fatalf("woke %d waiters, want 2", wokenCount)
+	}
+}

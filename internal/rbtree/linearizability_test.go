@@ -1,0 +1,107 @@
+package rbtree
+
+import (
+	"testing"
+
+	"elision/internal/check"
+	"elision/internal/core"
+	"elision/internal/htm"
+	"elision/internal/sim"
+)
+
+// TestSerializableHistories records every operation's result and
+// linearization time under each scheme and verifies the history is
+// equivalent to a serial execution — a much stronger oracle than final-state
+// checks, since it validates every individual lookup result against the
+// interleaving that actually happened.
+func TestSerializableHistories(t *testing.T) {
+	const procs, iters, domain, initial = 8, 60, 48, 24
+	schemes := []string{
+		core.SchemeNameStandard, core.SchemeNameHLE, core.SchemeNameHLERetries,
+		core.SchemeNameHLESCM, core.SchemeNameOptSLR, core.SchemeNameSLRSCM,
+		core.SchemeNameHLESCMGrouped,
+	}
+	locks := []string{core.LockNameTTAS, core.LockNameMCS, core.LockNameTicketHLE, core.LockNameCLHHLE}
+	for _, lockName := range locks {
+		for _, schemeName := range schemes {
+			lockName, schemeName := lockName, schemeName
+			t.Run(lockName+"/"+schemeName, func(t *testing.T) {
+				t.Parallel()
+				m := sim.MustNew(sim.Config{Procs: procs, Seed: 61})
+				hm := htm.NewMemory(m, htm.Config{Words: 1 << 20})
+				tr := New(hm, procs)
+				raw := htm.Raw{M: hm}
+				init := map[int64]int64{}
+				for i := 0; i < initial; i++ {
+					k := int64(i * 2)
+					tr.Insert(raw, k, k*10)
+					init[k] = k * 10
+				}
+				l, err := core.BuildLock(hm, lockName, procs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := core.BuildScheme(hm, schemeName, l, procs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var hist check.History
+				for i := 0; i < procs; i++ {
+					m.Go(func(p *sim.Proc) {
+						for k := 0; k < iters; k++ {
+							key := int64(p.RandN(domain))
+							val := int64(p.RandN(1000))
+							var e check.Event
+							// The linearization stamp is taken INSIDE the
+							// body, right after the data operation: for two
+							// conflicting operations, the later one's reads
+							// happen after the earlier one's commit, so
+							// body-end stamps order conflicting operations
+							// exactly. (Stamping after Critical returns
+							// would be wrong: SCM releases its auxiliary
+							// lock after committing, inflating the stamp
+							// past concurrent conflicting commits.)
+							switch p.RandN(3) {
+							case 0:
+								s.Critical(p, func(c htm.Ctx) {
+									e = check.Event{Op: check.OpInsert, Key: key, Val: val,
+										Found: tr.Insert(c, key, val), When: p.Clock()}
+								})
+							case 1:
+								s.Critical(p, func(c htm.Ctx) {
+									e = check.Event{Op: check.OpDelete, Key: key,
+										Found: tr.Delete(c, key), When: p.Clock()}
+								})
+							default:
+								s.Critical(p, func(c htm.Ctx) {
+									got, ok := tr.Lookup(c, key)
+									e = check.Event{Op: check.OpLookup, Key: key, Found: ok, Got: got, When: p.Clock()}
+								})
+							}
+							e.Proc = p.ID()
+							hist.Record(e)
+						}
+					})
+				}
+				if err := m.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if err := hist.Verify(init); err != nil {
+					t.Fatal(err)
+				}
+				// The replayed model's final state must match the tree's.
+				final := hist.Final(init)
+				keys := tr.Keys(raw)
+				if len(keys) != len(final) {
+					t.Fatalf("tree has %d keys, model %d", len(keys), len(final))
+				}
+				for _, k := range keys {
+					v, _ := tr.Lookup(raw, k)
+					if mv, ok := final[k]; !ok || mv != v {
+						t.Fatalf("key %d: tree %d, model %d (present=%v)", k, v, mv, ok)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+// CostModel assigns virtual-cycle costs to the primitive events of the
+// simulated machine. The defaults approximate a 3.4 GHz Haswell-class core:
+// they are not calibrated against silicon, but the *ratios* (an abort costs
+// an order of magnitude more than a hit; a coherency transfer costs several
+// hits) are what the paper's dynamics depend on.
+type CostModel struct {
+	// MemHit is the cost of an access to a line this thread already has in
+	// its cache (it touched it since any other thread did).
+	MemHit uint64
+	// MemMiss is the cost of an access that must fetch or invalidate the
+	// line (another thread touched it since we did, or first touch). The
+	// hit/miss distinction is what makes a serialized critical section over
+	// freshly-bounced data an order of magnitude slower than a wasted
+	// transaction start — the ratio the lemming cascade depends on.
+	MemMiss uint64
+	// TxBegin is the fixed cost of starting a hardware transaction.
+	TxBegin uint64
+	// TxCommit is the fixed cost of committing a hardware transaction.
+	TxCommit uint64
+	// TxAbort is the roll-back penalty paid when a transaction aborts.
+	TxAbort uint64
+	// SpinIter is the cost of one busy-wait iteration (test + pause).
+	SpinIter uint64
+	// WakeLatency is the coherency delay between a store and a spinning
+	// thread observing it.
+	WakeLatency uint64
+	// TxTimer is the maximum number of cycles a transaction may spend
+	// blocked in-transaction before a (simulated) timer interrupt aborts it.
+	TxTimer uint64
+	// SpuriousDenom, when non-zero, makes each transactional access abort
+	// spuriously with probability 1/SpuriousDenom. The paper observes that
+	// Haswell transactions abort spuriously even in conflict-free workloads
+	// (§3.1); this models that.
+	SpuriousDenom uint64
+	// HTSpuriousDiv divides SpuriousDenom (raising the spurious-abort rate)
+	// while the transaction's core-sibling is active under an SMT
+	// configuration — a hyperthread pair shares a 32KB L1, so speculative
+	// footprints evict each other. 0 selects the default of 16.
+	HTSpuriousDiv uint64
+}
+
+// DefaultCost returns the cost model used by all benchmarks unless
+// overridden.
+func DefaultCost() CostModel {
+	return CostModel{
+		MemHit:        4,
+		MemMiss:       56,
+		TxBegin:       20,
+		TxCommit:      20,
+		TxAbort:       160,
+		SpinIter:      12,
+		WakeLatency:   40,
+		TxTimer:       60_000,
+		SpuriousDenom: 250_000,
+	}
+}
+
+// CyclesPerMillisecond converts between the paper's wall-clock reporting
+// (3.4 GHz Core i7-4770) and virtual cycles.
+const CyclesPerMillisecond = 3_400_000

@@ -1,0 +1,481 @@
+// Package sim implements a deterministic discrete-event simulation of a
+// small shared-memory multiprocessor.
+//
+// Each simulated hardware thread (a Proc) is backed by one goroutine, but at
+// most one Proc executes at any moment: the scheduler always runs the
+// runnable Proc with the smallest virtual clock, handing control off over
+// channels. Because execution is cooperatively serialized, all simulated
+// machine state (memory words, transaction metadata, statistics) can be
+// plain Go data with no locking, and every run is bit-for-bit reproducible
+// for a given seed regardless of the host's core count.
+//
+// Virtual time is measured in cycles. Procs advance their clock explicitly
+// (Advance), block on events with optional deadlines (Block), and are woken
+// by other Procs (Wake). Throughput and speedup in the benchmark harness are
+// ratios of operations to virtual cycles, so an 8-thread experiment models
+// true 8-way parallelism even on a 2-core host.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxProcs is the largest number of simulated hardware threads a Machine
+// supports. The transactional-memory layer identifies reader sets with a
+// 64-bit mask, which fixes this bound.
+const MaxProcs = 64
+
+// NoDeadline marks a Block call with no timeout.
+const NoDeadline = math.MaxUint64
+
+// ErrDeadlock is returned by Run when every live Proc is blocked without a
+// deadline, so virtual time can never advance again.
+var ErrDeadlock = errors.New("sim: deadlock: all procs blocked with no deadline")
+
+// WakeCause tells a blocked Proc why it resumed.
+type WakeCause int8
+
+// Wake causes, reported by Block.
+const (
+	// WakeStore means another Proc wrote the awaited location (or otherwise
+	// explicitly woke this Proc).
+	WakeStore WakeCause = iota + 1
+	// WakeTimeout means the Block deadline expired.
+	WakeTimeout
+	// WakeDoom means the Proc's running transaction was doomed while it was
+	// blocked.
+	WakeDoom
+	// wakeKill tears the Proc down (machine shutdown after deadlock).
+	wakeKill
+)
+
+type procState int8
+
+const (
+	stateNew procState = iota + 1
+	stateReady
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// killSentinel unwinds a Proc goroutine during machine teardown.
+type killSentinel struct{}
+
+// Config parameterizes a Machine.
+type Config struct {
+	// Procs is the number of simulated hardware threads (1..MaxProcs).
+	Procs int
+	// Seed feeds each Proc's deterministic RNG.
+	Seed uint64
+	// Quantum bounds how far (in cycles) the running Proc's clock may lead
+	// the earliest other runnable Proc before control is handed over. Zero
+	// gives strict min-clock-first interleaving (exact virtual-time order of
+	// every access); larger values trade a bounded clock skew — akin to the
+	// store-visibility skew of a real memory hierarchy — for far fewer
+	// scheduler handoffs. Execution remains deterministic and state
+	// mutations remain serialized at any quantum.
+	Quantum uint64
+	// Cores models simultaneous multithreading: when 0 < Cores < Procs,
+	// procs share physical cores round-robin (proc i runs on core
+	// i%Cores), and a proc whose core-sibling is concurrently active pays
+	// HTSlowdownPercent extra cycles on every Advance — the execution-
+	// resource sharing of a hyperthread pair. The paper's testbed is a
+	// 4-core/8-thread Haswell; Cores=4 with Procs=8 reproduces that
+	// pressure. 0 (default) gives one proc per core.
+	Cores int
+	// HTSlowdownPercent is the extra cost (percent) a proc pays while its
+	// core-sibling is active. 0 selects the default of 60.
+	HTSlowdownPercent int
+}
+
+// Machine is a simulated multiprocessor: a set of Procs sharing one virtual
+// clock domain. Create one with New, add thread bodies with Go, and execute
+// with Run.
+type Machine struct {
+	cfg        Config
+	procs      []*Proc
+	nLive      int
+	done       chan struct{}
+	failed     error
+	killed     bool
+	htSlowdown int // percent surcharge while a core-sibling is active
+	// bodyErr records the first panic escaping a Proc body, re-raised by Run
+	// on the host goroutine so test failures point at the right stack.
+	bodyErr any
+}
+
+// Proc is one simulated hardware thread. All methods must be called from the
+// goroutine that runs this Proc's body (except Wake, which any running Proc
+// may call on any other Proc).
+type Proc struct {
+	id    int
+	m     *Machine
+	clock uint64
+	state procState
+	// wake carries the scheduler token: a Proc runs iff it has received on
+	// this channel more recently than it has handed the token away.
+	wake      chan WakeCause
+	deadline  uint64
+	rng       uint64
+	body      func(*Proc)
+	siblings  []*Proc // procs sharing this proc's physical core (SMT)
+	wakeFloor uint64  // clock floor applied when the proc is next scheduled
+	// pendingCause is the cause recorded by Wake, delivered at dispatch.
+	pendingCause WakeCause
+	// lastWake is the cause observed by the most recent park.
+	lastWake WakeCause
+}
+
+// New creates a Machine with cfg.Procs simulated threads and no bodies yet.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Procs < 1 || cfg.Procs > MaxProcs {
+		return nil, fmt.Errorf("sim: Procs must be in [1,%d], got %d", MaxProcs, cfg.Procs)
+	}
+	m := &Machine{
+		cfg:  cfg,
+		done: make(chan struct{}),
+	}
+	m.procs = make([]*Proc, cfg.Procs)
+	for i := range m.procs {
+		m.procs[i] = &Proc{
+			id:       i,
+			m:        m,
+			state:    stateNew,
+			wake:     make(chan WakeCause, 1),
+			deadline: NoDeadline,
+			rng:      mixSeed(cfg.Seed, uint64(i)),
+		}
+	}
+	if cfg.Cores > 0 && cfg.Cores < cfg.Procs {
+		m.htSlowdown = cfg.HTSlowdownPercent
+		if m.htSlowdown == 0 {
+			m.htSlowdown = 60
+		}
+		for _, p := range m.procs {
+			for _, q := range m.procs {
+				if q != p && q.id%cfg.Cores == p.id%cfg.Cores {
+					p.siblings = append(p.siblings, q)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Procs returns the number of simulated threads.
+func (m *Machine) Procs() int { return m.cfg.Procs }
+
+// Proc returns the simulated thread with the given id. It is intended for
+// wiring bodies and inspecting clocks after Run; bodies receive their own
+// *Proc as an argument.
+func (m *Machine) Proc(id int) *Proc { return m.procs[id] }
+
+// Go assigns body to the next unassigned Proc and returns it. All bodies
+// must be assigned before Run. Go panics if every Proc already has a body
+// (a configuration error, caught at setup time).
+func (m *Machine) Go(body func(*Proc)) *Proc {
+	for _, p := range m.procs {
+		if p.body == nil {
+			p.body = body
+			return p
+		}
+	}
+	panic("sim: Go called more times than Config.Procs")
+}
+
+// Run executes every assigned body to completion in virtual time and returns
+// the first scheduling failure (e.g. ErrDeadlock), if any. Procs without a
+// body simply never run. Run must be called exactly once.
+func (m *Machine) Run() error {
+	m.nLive = 0
+	for _, p := range m.procs {
+		if p.body == nil {
+			p.state = stateDone
+			continue
+		}
+		p.state = stateReady
+		m.nLive++
+		go p.run()
+	}
+	if m.nLive == 0 {
+		return nil
+	}
+	m.dispatchNext()
+	<-m.done
+	if m.bodyErr != nil {
+		panic(m.bodyErr)
+	}
+	return m.failed
+}
+
+// run is the Proc goroutine: wait for the first token, execute the body,
+// then retire and pass the token on.
+func (p *Proc) run() {
+	cause := <-p.wake
+	if cause == wakeKill {
+		p.retire()
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); ok {
+				p.retire()
+				return
+			}
+			// A real bug in a body: surface it on the host goroutine.
+			if p.m.bodyErr == nil {
+				p.m.bodyErr = r
+			}
+			p.m.killed = true
+			p.retire()
+			return
+		}
+		p.retire()
+	}()
+	p.state = stateRunning
+	p.body(p)
+}
+
+// retire marks the Proc done and hands the scheduler token to the next
+// runnable Proc (or completes the machine).
+func (p *Proc) retire() {
+	p.state = stateDone
+	p.m.nLive--
+	p.m.dispatchNext()
+}
+
+// dispatchNext transfers control to the runnable Proc with the smallest
+// virtual clock. A blocked Proc with a deadline is runnable at
+// max(clock, deadline). Must be called by the (formerly) running goroutine
+// or by Run at startup; the caller must not touch machine state afterwards
+// unless it parks and is rescheduled.
+func (m *Machine) dispatchNext() {
+	if m.nLive == 0 {
+		close(m.done)
+		return
+	}
+	if m.killed {
+		// Teardown: wake any live proc with the kill token; it will retire
+		// and continue the cascade until nLive hits zero.
+		for _, q := range m.procs {
+			if q.state == stateReady || q.state == stateBlocked {
+				q.state = stateRunning
+				q.wake <- wakeKill
+				return
+			}
+		}
+		// Live procs exist but none are parked: impossible under the
+		// single-runner invariant; fall through to deadlock for safety.
+	}
+	next, cause := m.pickNext()
+	if next == nil {
+		m.failed = ErrDeadlock
+		m.killed = true
+		m.dispatchNext()
+		return
+	}
+	if cause == WakeTimeout {
+		if next.deadline > next.clock {
+			next.clock = next.deadline
+		}
+		next.deadline = NoDeadline
+	}
+	if next.wakeFloor > next.clock {
+		next.clock = next.wakeFloor
+	}
+	next.wakeFloor = 0
+	next.state = stateRunning
+	next.wake <- cause
+}
+
+// pickNextTime is pickNext plus the winner's effective time (for quantum
+// checks in maybeYield).
+func (m *Machine) pickNextTime() (*Proc, uint64) {
+	best, _ := m.pickNext()
+	if best == nil {
+		return nil, math.MaxUint64
+	}
+	t := best.clock
+	if best.state == stateBlocked && best.deadline != NoDeadline && best.deadline > t {
+		t = best.deadline
+	}
+	return best, t
+}
+
+// pickNext chooses the runnable Proc with the smallest effective time,
+// breaking ties by Proc id (for determinism). Returns nil if nothing can
+// ever run again.
+func (m *Machine) pickNext() (*Proc, WakeCause) {
+	var (
+		best      *Proc
+		bestTime  uint64 = math.MaxUint64
+		bestCause WakeCause
+	)
+	for _, q := range m.procs {
+		var t uint64
+		var c WakeCause
+		switch q.state {
+		case stateReady:
+			t, c = q.clock, q.pendingCauseOrStore()
+		case stateBlocked:
+			if q.deadline == NoDeadline {
+				continue
+			}
+			t = q.deadline
+			if q.clock > t {
+				t = q.clock
+			}
+			c = WakeTimeout
+		default:
+			continue
+		}
+		if t < bestTime {
+			best, bestTime, bestCause = q, t, c
+		}
+	}
+	return best, bestCause
+}
+
+// pendingCause holds the cause recorded by Wake for a Proc that was blocked
+// and is now ready; ready-by-yield Procs resume with WakeStore (unused).
+func (p *Proc) pendingCauseOrStore() WakeCause {
+	if p.pendingCause != 0 {
+		c := p.pendingCause
+		p.pendingCause = 0
+		return c
+	}
+	return WakeStore
+}
+
+// ID returns the Proc's index in [0, Machine.Procs()).
+func (p *Proc) ID() int { return p.id }
+
+// Clock returns the Proc's virtual time in cycles.
+func (p *Proc) Clock() uint64 { return p.clock }
+
+// Machine returns the owning Machine.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Advance adds cycles to the Proc's virtual clock and yields if another
+// runnable Proc is now earlier in virtual time. Memory-model layers call
+// Advance with the access cost *before* touching shared simulated state, so
+// state mutations occur in nondecreasing virtual-time order.
+//
+// Under an SMT configuration (Config.Cores), the charge is inflated while
+// the proc's core-sibling is active.
+func (p *Proc) Advance(cycles uint64) {
+	if p.m.htSlowdown > 0 && p.SiblingActive() {
+		cycles += cycles * uint64(p.m.htSlowdown) / 100
+	}
+	p.clock += cycles
+	p.maybeYield()
+}
+
+// SiblingActive reports whether another proc sharing this proc's physical
+// core is currently runnable (ready or running). Always false without an
+// SMT configuration. The htm layer also consults this to raise the
+// spurious-abort pressure of a shared L1.
+func (p *Proc) SiblingActive() bool {
+	for _, q := range p.siblings {
+		if q.state == stateReady || q.state == stateRunning {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeYield hands the token to the earliest other runnable Proc when our
+// clock has run past it (tolerating Config.Quantum cycles of lead). While we
+// hold the token our own state is stateRunning, so pickNext only considers
+// the other Procs.
+func (p *Proc) maybeYield() {
+	next, t := p.m.pickNextTime()
+	if next == nil || p.clock <= t+p.m.cfg.Quantum {
+		return
+	}
+	p.state = stateReady
+	p.m.dispatchNext()
+	p.park()
+}
+
+// park waits for the scheduler token; a kill token unwinds the goroutine.
+func (p *Proc) park() {
+	cause := <-p.wake
+	if cause == wakeKill {
+		panic(killSentinel{})
+	}
+	p.lastWake = cause
+}
+
+// Block parks the Proc until another Proc calls Wake on it or the deadline
+// (absolute virtual time; NoDeadline for none) passes, and reports why it
+// resumed. The caller is responsible for registering itself wherever the
+// waker will look (e.g. a memory line's waiter list) before calling Block.
+func (p *Proc) Block(deadline uint64) WakeCause {
+	p.state = stateBlocked
+	p.deadline = deadline
+	p.m.dispatchNext()
+	p.park()
+	return p.lastWake
+}
+
+// Wake marks target runnable with the given cause. target's clock is floored
+// to the caller's current clock plus latency: the event that wakes it cannot
+// be observed before it happened. Waking a Proc that is not blocked is a
+// no-op (it lost no information; it will observe the state change itself).
+func (p *Proc) Wake(target *Proc, cause WakeCause, latency uint64) {
+	if target.state != stateBlocked {
+		return
+	}
+	target.state = stateReady
+	target.deadline = NoDeadline
+	target.pendingCause = cause
+	floor := p.clock + latency
+	if floor > target.wakeFloor {
+		target.wakeFloor = floor
+	}
+	// No handoff here: the waker keeps running; min-clock dispatch will
+	// schedule the woken Proc in virtual-time order.
+}
+
+// Rand64 steps the Proc's deterministic xorshift64* generator.
+func (p *Proc) Rand64() uint64 {
+	x := p.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	p.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// RandN returns a deterministic pseudo-random value in [0, n).
+func (p *Proc) RandN(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return p.Rand64() % n
+}
+
+// mixSeed derives a per-proc RNG state from the machine seed (splitmix64).
+func mixSeed(seed, i uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x1234567887654321
+	}
+	return z
+}

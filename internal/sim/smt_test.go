@@ -1,0 +1,81 @@
+package sim
+
+import "testing"
+
+func TestNoSMTByDefault(t *testing.T) {
+	m := MustNew(Config{Procs: 8, Seed: 1})
+	var active bool
+	m.Go(func(p *Proc) { active = p.SiblingActive() })
+	m.Go(func(p *Proc) { p.Advance(100) })
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if active {
+		t.Fatal("SiblingActive true without an SMT configuration")
+	}
+}
+
+func TestSMTSiblingPairs(t *testing.T) {
+	m := MustNew(Config{Procs: 8, Seed: 1, Cores: 4})
+	for i, p := range m.procs {
+		if len(p.siblings) != 1 {
+			t.Fatalf("proc %d has %d siblings, want 1", i, len(p.siblings))
+		}
+		if p.siblings[0].id != (i+4)%8 {
+			t.Fatalf("proc %d paired with %d, want %d", i, p.siblings[0].id, (i+4)%8)
+		}
+	}
+}
+
+// TestSMTSlowdownApplied: with an active sibling, Advance charges the
+// surcharge; a lone proc (sibling done) pays face value.
+func TestSMTSlowdownApplied(t *testing.T) {
+	m := MustNew(Config{Procs: 2, Seed: 1, Cores: 1, HTSlowdownPercent: 100})
+	var midClock, finalClock uint64
+	m.Go(func(p *Proc) {
+		p.Advance(100) // sibling active: pays 200
+		midClock = p.Clock()
+		// Wait until well past the sibling's finish, then advance alone.
+		p.Block(10_000)
+		before := p.Clock()
+		p.Advance(100) // sibling done: pays 100
+		finalClock = p.Clock() - before
+	})
+	m.Go(func(p *Proc) {
+		p.Advance(50)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if midClock != 200 {
+		t.Fatalf("contended Advance(100) moved clock to %d, want 200", midClock)
+	}
+	if finalClock != 100 {
+		t.Fatalf("solo Advance(100) charged %d, want 100", finalClock)
+	}
+}
+
+// TestSMTDeterministic: SMT runs replay exactly.
+func TestSMTDeterministic(t *testing.T) {
+	run := func() uint64 {
+		m := MustNew(Config{Procs: 8, Seed: 3, Cores: 4})
+		for i := 0; i < 8; i++ {
+			m.Go(func(p *Proc) {
+				for k := 0; k < 200; k++ {
+					p.Advance(1 + p.RandN(10))
+				}
+			})
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var sum uint64
+		for i := 0; i < 8; i++ {
+			sum += m.Proc(i).Clock()
+		}
+		return sum
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("SMT replay diverged: %d vs %d", a, b)
+	}
+}

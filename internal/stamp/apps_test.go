@@ -1,0 +1,270 @@
+package stamp
+
+import (
+	"testing"
+
+	"elision/internal/core"
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// runApp executes one config and returns the app (for white-box
+// inspection), its memory, and the result.
+func runApp(t *testing.T, name string, threads int, scheme string) (App, *htm.Memory, core.Stats) {
+	t.Helper()
+	app, err := New(name, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.MustNew(sim.Config{Procs: threads, Seed: 19, Quantum: 64})
+	hm := htm.NewMemory(m, htm.Config{Words: app.Words()})
+	app.Init(hm, threads, 19)
+	l, err := core.BuildLock(hm, core.LockNameTTAS, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.BuildScheme(hm, scheme, l, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats core.Stats
+	for i := 0; i < threads; i++ {
+		m.Go(func(p *sim.Proc) { app.Work(p, s, &stats) })
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(htm.Raw{M: hm}); err != nil {
+		t.Fatal(err)
+	}
+	return app, hm, stats
+}
+
+func TestGenomeChainComplete(t *testing.T) {
+	app, hm, _ := runApp(t, "genome", 4, core.SchemeNameOptSLR)
+	g := app.(*genome)
+	raw := htm.Raw{M: hm}
+	// Walk the reconstructed chain from position 0: it must visit every
+	// segment in order.
+	pos := int64(0)
+	for i := 0; i < g.g-2; i++ {
+		next := raw.Load(g.next + mem.Addr(pos))
+		if next != pos+1 {
+			t.Fatalf("chain broken at %d -> %d", pos, next)
+		}
+		pos = next
+	}
+}
+
+func TestIntruderFragmentDistribution(t *testing.T) {
+	app, _, stats := runApp(t, "intruder", 8, core.SchemeNameHLESCM)
+	in := app.(*intruder)
+	// The packet stream must contain exactly needed(flow) fragments per
+	// flow, so total ops == sum of needed.
+	var want uint64
+	for f := int64(0); f < int64(in.flows); f++ {
+		want += uint64(in.needed(f))
+	}
+	if stats.Ops != want {
+		t.Fatalf("processed %d packets, want %d", stats.Ops, want)
+	}
+}
+
+func TestKMeansSeenCount(t *testing.T) {
+	app, hm, _ := runApp(t, "kmeans-high", 8, core.SchemeNameSLRSCM)
+	km := app.(*kmeans)
+	raw := htm.Raw{M: hm}
+	if got := raw.Load(km.seen); got != int64(km.p*km.iters) {
+		t.Fatalf("seen = %d, want %d", got, km.p*km.iters)
+	}
+}
+
+func TestKMeansGeometry(t *testing.T) {
+	km := newKMeans(1, true)
+	if km.k >= newKMeans(1, false).k {
+		t.Fatal("kmeans-high must use fewer (hotter) clusters than kmeans-low")
+	}
+	if km.lines < 2 {
+		t.Fatalf("kmeans accumulators fit one line (%d); the multi-line shape is the point", km.lines)
+	}
+}
+
+// TestLabyrinthBFS checks the router on a controlled grid: shortest paths
+// on an empty grid, detours around walls, and failure when walled off.
+func TestLabyrinthBFS(t *testing.T) {
+	a := newLabyrinth(1)
+	m := sim.MustNew(sim.Config{Procs: 1, Seed: 1})
+	hm := htm.NewMemory(m, htm.Config{Words: a.Words()})
+	a.Init(hm, 1, 1)
+	raw := htm.Raw{M: hm}
+	for i := 0; i < a.w*a.h; i++ { // clear the grid
+		raw.Store(a.grid+mem.Addr(i), 0)
+	}
+	m.Go(func(p *sim.Proc) {
+		c := htm.Ctx{P: p, M: hm}
+		// Empty grid: shortest path has Manhattan length.
+		for _, r := range []routeSpec{{0, 0, 5, 3}, {2, 2, 2, 2}, {0, 4, 7, 4}} {
+			st := hm.Atomic(p, func(tx *htm.Tx) {
+				path := a.bfs(c, r)
+				want := abs(r.x2-r.x1) + abs(r.y2-r.y1) + 1
+				if len(path) != want {
+					t.Errorf("route %+v: path length %d, want %d", r, len(path), want)
+				}
+			})
+			if !st.Committed {
+				t.Fatalf("bfs transaction aborted: %+v", st)
+			}
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wall off column 5 except row 7: the detour must pass through (5,7).
+	m2 := sim.MustNew(sim.Config{Procs: 1, Seed: 1})
+	hm2 := htm.NewMemory(m2, htm.Config{Words: a.Words()})
+	b := newLabyrinth(1)
+	b.Init(hm2, 1, 1)
+	raw2 := htm.Raw{M: hm2}
+	for i := 0; i < b.w*b.h; i++ {
+		raw2.Store(b.grid+mem.Addr(i), 0)
+	}
+	for y := 0; y < b.h; y++ {
+		if y != 7 {
+			raw2.Store(b.cell(5, y), 99)
+		}
+	}
+	m2.Go(func(p *sim.Proc) {
+		c := htm.Ctx{P: p, M: hm2}
+		hm2.Atomic(p, func(tx *htm.Tx) {
+			got := b.bfs(c, routeSpec{0, 0, 10, 0})
+			if got == nil {
+				t.Error("no detour found through the gap")
+				return
+			}
+			through := false
+			for _, cell := range got {
+				if cell == b.cell(5, 7) {
+					through = true
+				}
+			}
+			if !through {
+				t.Error("path did not use the only gap at (5,7)")
+			}
+		})
+		// Fully walled: no path.
+		raw2.Store(b.cell(5, 7), 99)
+		hm2.Atomic(p, func(tx *htm.Tx) {
+			if b.bfs(c, routeSpec{0, 0, 10, 0}) != nil {
+				t.Error("found a path through a solid wall")
+			}
+		})
+	})
+	if err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabyrinthDisjointClaims(t *testing.T) {
+	app, hm, _ := runApp(t, "labyrinth", 8, core.SchemeNameHLE)
+	la := app.(*labyrinth)
+	raw := htm.Raw{M: hm}
+	// Validate() already checks per-route ownership; here check global
+	// disjointness: total owned cells == sum of committed path lengths.
+	owned := 0
+	for i := 0; i < la.w*la.h; i++ {
+		if raw.Load(la.grid+mem.Addr(i)) != 0 {
+			owned++
+		}
+	}
+	want := 0
+	for id := range la.specs {
+		if !la.failed[id] {
+			want += len(la.paths[id])
+		}
+	}
+	if owned != want {
+		t.Fatalf("grid owns %d cells, successful paths cover %d", owned, want)
+	}
+}
+
+func TestYadaAllRefined(t *testing.T) {
+	app, hm, stats := runApp(t, "yada", 8, core.SchemeNameOptSLR)
+	y := app.(*yada)
+	raw := htm.Raw{M: hm}
+	fixed := raw.Load(y.fixed)
+	if fixed == 0 {
+		t.Fatal("no refinements recorded")
+	}
+	// Refinements can exceed the initial bad set (spawning), but are
+	// bounded by initial + total spawn budget.
+	var initial int64
+	for _, s := range y.shares {
+		initial += int64(len(s))
+	}
+	if fixed < initial/2 || fixed > 2*initial {
+		t.Fatalf("refinements %d implausible for %d initial bad triangles", fixed, initial)
+	}
+	if stats.Ops < uint64(initial) {
+		t.Fatalf("ops %d < initial work %d", stats.Ops, initial)
+	}
+}
+
+func TestSSCA2LowContentionSpeculates(t *testing.T) {
+	_, _, stats := runApp(t, "ssca2", 8, core.SchemeNameOptSLR)
+	if f := stats.NonSpecFraction(); f > 0.05 {
+		t.Fatalf("ssca2 non-speculative fraction %.3f; tiny txs on a large vertex set should almost always commit", f)
+	}
+}
+
+func TestVacationConservationDetail(t *testing.T) {
+	app, hm, _ := runApp(t, "vacation-high", 8, core.SchemeNameHLESCM)
+	v := app.(*vacation)
+	raw := htm.Raw{M: hm}
+	// Every transaction id has exactly one customer record.
+	seen := 0
+	for _, share := range v.shares {
+		for _, id := range share {
+			if _, ok := v.cust.Lookup(raw, id); ok {
+				seen++
+			}
+		}
+	}
+	if seen != v.txns {
+		t.Fatalf("%d customer records, want %d", seen, v.txns)
+	}
+}
+
+func TestVacationHighVsLowGeometry(t *testing.T) {
+	hi := newVacation(1, true)
+	lo := newVacation(1, false)
+	if hi.items >= lo.items {
+		t.Fatal("vacation-high must use a smaller (hotter) inventory than vacation-low")
+	}
+	if hi.queries <= lo.queries {
+		t.Fatal("vacation-high must issue more queries per transaction")
+	}
+}
+
+// TestAppsAcceptOneThread: every kernel must also run single-threaded (the
+// degenerate partition case).
+func TestAppsAcceptOneThread(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			_, _, stats := runApp(t, name, 1, core.SchemeNameStandard)
+			if stats.Ops == 0 {
+				t.Fatal("no operations")
+			}
+		})
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

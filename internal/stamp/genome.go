@@ -1,0 +1,130 @@
+package stamp
+
+import (
+	"fmt"
+
+	"elision/internal/core"
+	"elision/internal/hashtable"
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// genome is the gene-sequencing kernel: deduplicate overlapping segments of
+// a target sequence in a shared hash table, index segment prefixes, then
+// link each segment to its overlap successor — short-to-medium transactions
+// with low contention, matching STAMP genome's profile.
+//
+// The synthetic "genome" is a permutation of 0..G-1, so every length-2
+// segment is unique and the correct overlap chain is simply pos -> pos+1,
+// which Validate checks end to end.
+type genome struct {
+	g       int // genome length
+	hm      *htm.Memory
+	gene    mem.Addr // G words: the sequence
+	next    mem.Addr // G words: reconstructed successor of each segment
+	dedup   *hashtable.Table
+	prefix  *hashtable.Table
+	bar     *barrier
+	shares  [][]int64 // duplicated segment stream, partitioned per proc
+	perProc [][]int64 // unique position ranges per proc (phases 2-3)
+}
+
+func newGenome(f Factor) *genome {
+	return &genome{g: 1024 * int(f)}
+}
+
+// Name implements App.
+func (a *genome) Name() string { return "genome" }
+
+// Words implements App.
+func (a *genome) Words() int { return a.g*64 + 1<<18 }
+
+// segKey is the content key of the segment starting at pos.
+func segKey(ac htm.Accessor, gene mem.Addr, pos int64) int64 {
+	return ac.Load(gene+mem.Addr(pos))<<32 | ac.Load(gene+mem.Addr(pos)+1)
+}
+
+// Init implements App.
+func (a *genome) Init(hm *htm.Memory, procs int, seed uint64) {
+	a.hm = hm
+	raw := htm.Raw{M: hm}
+	a.gene = hm.Store().Alloc(a.g)
+	a.next = hm.Store().Alloc(a.g)
+	a.dedup = hashtable.New(hm, procs, a.g)
+	a.prefix = hashtable.New(hm, procs, a.g)
+	a.bar = newBarrier(hm, procs)
+
+	rng := &splitmix{s: seed}
+	perm := make([]int64, a.g)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	rng.shuffle(perm)
+	for i, v := range perm {
+		raw.Store(a.gene+mem.Addr(i), v)
+		raw.Store(a.next+mem.Addr(i), -1)
+	}
+
+	// The segment stream: every position duplicated 4 times, shuffled.
+	const dup = 4
+	stream := make([]int64, 0, dup*(a.g-1))
+	for d := 0; d < dup; d++ {
+		for pos := 0; pos < a.g-1; pos++ {
+			stream = append(stream, int64(pos))
+		}
+	}
+	rng.shuffle(stream)
+	a.shares = partition(stream, procs)
+
+	uniq := make([]int64, a.g-1)
+	for i := range uniq {
+		uniq[i] = int64(i)
+	}
+	a.perProc = partition(uniq, procs)
+}
+
+// Work implements App.
+func (a *genome) Work(p *sim.Proc, s core.Scheme, stats *core.Stats) {
+	// Phase 1: deduplicate the segment stream.
+	for _, pos := range a.shares[p.ID()] {
+		pos := pos
+		stats.Add(s.Critical(p, func(c htm.Ctx) {
+			a.dedup.Insert(c, segKey(c, a.gene, pos), pos)
+		}))
+	}
+	a.bar.wait(p)
+	// Phase 2: index each unique segment by its first symbol (its prefix).
+	for _, pos := range a.perProc[p.ID()] {
+		pos := pos
+		stats.Add(s.Critical(p, func(c htm.Ctx) {
+			a.prefix.Insert(c, c.Load(a.gene+mem.Addr(pos)), pos)
+		}))
+	}
+	a.bar.wait(p)
+	// Phase 3: link each segment to the segment whose prefix equals our
+	// suffix symbol, reconstructing the chain.
+	for _, pos := range a.perProc[p.ID()] {
+		pos := pos
+		stats.Add(s.Critical(p, func(c htm.Ctx) {
+			succ, ok := a.prefix.Lookup(c, c.Load(a.gene+mem.Addr(pos)+1))
+			if ok {
+				c.Store(a.next+mem.Addr(pos), succ)
+			}
+		}))
+	}
+}
+
+// Validate implements App.
+func (a *genome) Validate(raw htm.Raw) error {
+	for pos := 0; pos < a.g-2; pos++ {
+		got := raw.Load(a.next + mem.Addr(pos))
+		if got != int64(pos)+1 {
+			return fmt.Errorf("genome: segment %d links to %d, want %d", pos, got, pos+1)
+		}
+	}
+	if n := a.dedup.Size(raw); n != a.g-1 {
+		return fmt.Errorf("genome: dedup table has %d segments, want %d", n, a.g-1)
+	}
+	return nil
+}

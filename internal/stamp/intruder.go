@@ -1,0 +1,102 @@
+package stamp
+
+import (
+	"fmt"
+
+	"elision/internal/core"
+	"elision/internal/hashtable"
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// intruder is the network-intrusion-detection kernel: threads pull packet
+// fragments off a pre-captured trace and reassemble flows in a shared table;
+// completed flows are pushed onto a detection stack. Transactions are short
+// and contention is high — the flow table is shared and the detection
+// stack's head is a single hot line, as in STAMP intruder.
+type intruder struct {
+	flows  int
+	hm     *htm.Memory
+	table  *hashtable.Table // flow id -> fragments seen so far
+	heap   *htm.Heap        // detection-stack nodes
+	head   mem.Addr         // detection stack head (hot)
+	done   mem.Addr         // completed-flow counter (same line as head)
+	shares [][]int64        // packet stream per proc
+}
+
+func newIntruder(f Factor) *intruder {
+	return &intruder{flows: 256 * int(f)}
+}
+
+// Name implements App.
+func (a *intruder) Name() string { return "intruder" }
+
+// Words implements App.
+func (a *intruder) Words() int { return a.flows*96 + 1<<16 }
+
+// needed returns the fragment count of a flow (2..8, deterministic).
+func (a *intruder) needed(flow int64) int64 { return 2 + flow%7 }
+
+// Init implements App.
+func (a *intruder) Init(hm *htm.Memory, procs int, seed uint64) {
+	a.hm = hm
+	a.table = hashtable.New(hm, procs, a.flows)
+	a.heap = htm.NewHeap(hm, procs, 1, 64)
+	base := hm.Store().AllocLines(1)
+	a.head = base
+	a.done = base + 1
+
+	rng := &splitmix{s: seed}
+	var stream []int64
+	for flow := int64(0); flow < int64(a.flows); flow++ {
+		for i := int64(0); i < a.needed(flow); i++ {
+			stream = append(stream, flow)
+		}
+	}
+	rng.shuffle(stream)
+	a.shares = partition(stream, procs)
+}
+
+// Work implements App.
+func (a *intruder) Work(p *sim.Proc, s core.Scheme, stats *core.Stats) {
+	for _, flow := range a.shares[p.ID()] {
+		flow := flow
+		stats.Add(s.Critical(p, func(c htm.Ctx) {
+			seen, _ := a.table.Lookup(c, flow)
+			seen++
+			a.table.Insert(c, flow, seen)
+			if seen == a.needed(flow) {
+				// Flow complete: push onto the detection stack.
+				n := a.heap.Alloc(c)
+				c.Store(n, c.Load(a.head))
+				c.Store(n+1, flow)
+				c.Store(a.head, int64(n))
+				c.Store(a.done, c.Load(a.done)+1)
+			}
+		}))
+	}
+}
+
+// Validate implements App.
+func (a *intruder) Validate(raw htm.Raw) error {
+	if got := raw.Load(a.done); got != int64(a.flows) {
+		return fmt.Errorf("intruder: %d flows detected, want %d", got, a.flows)
+	}
+	// Walk the stack and check each flow appears exactly once, complete.
+	seen := make(map[int64]bool, a.flows)
+	for n := mem.Addr(raw.Load(a.head)); n != mem.Nil; n = mem.Addr(raw.Load(n)) {
+		flow := raw.Load(n + 1)
+		if seen[flow] {
+			return fmt.Errorf("intruder: flow %d detected twice", flow)
+		}
+		seen[flow] = true
+		if got, _ := a.table.Lookup(raw, flow); got != a.needed(flow) {
+			return fmt.Errorf("intruder: flow %d has %d fragments, want %d", flow, got, a.needed(flow))
+		}
+	}
+	if len(seen) != a.flows {
+		return fmt.Errorf("intruder: stack holds %d flows, want %d", len(seen), a.flows)
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package stamp
+
+import (
+	"fmt"
+
+	"elision/internal/core"
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// kmeans is the clustering kernel: distance computation happens outside the
+// critical section (reading centers non-transactionally, as STAMP does);
+// only the 16-dimensional cluster-accumulator update is a critical section —
+// a short multi-line transaction. Contention is governed by K: kmeans-high
+// uses K=12 hot accumulator records, kmeans-low K=40 (STAMP's 15/40 inputs).
+type kmeans struct {
+	high   bool
+	p      int // points
+	k      int // clusters
+	iters  int
+	dims   int
+	lines  int // lines per point/center/accumulator record
+	hm     *htm.Memory
+	points mem.Addr // lines-per-record per point: dims values
+	center mem.Addr // lines-per-record per cluster: dims values
+	acc    mem.Addr // lines-per-record per cluster: dims sums + count
+	seen   mem.Addr // one word: total points accumulated (for validation)
+	bar    *barrier
+	shares [][]int64
+}
+
+func newKMeans(f Factor, high bool) *kmeans {
+	// STAMP kmeans updates a D-dimensional accumulator per assignment; with
+	// D=16 each critical section writes a 3-line record, so the
+	// transactions are short but not single-line. K governs contention:
+	// STAMP's high-contention input uses 15 clusters and its low-contention
+	// input 40 (fewer clusters = hotter accumulators).
+	k := 40
+	if high {
+		k = 12
+	}
+	a := &kmeans{high: high, p: 512 * int(f), k: k, iters: 3, dims: 16}
+	a.lines = (a.dims + 1 + mem.LineWords - 1) / mem.LineWords // dims + count
+	return a
+}
+
+// Name implements App.
+func (a *kmeans) Name() string {
+	if a.high {
+		return "kmeans-high"
+	}
+	return "kmeans-low"
+}
+
+// Words implements App.
+func (a *kmeans) Words() int {
+	rec := a.lines * mem.LineWords
+	return a.p*rec + 2*a.k*rec + 1<<14
+}
+
+// rec returns the address of record i in a table of multi-line records.
+func rec(base mem.Addr, i, lines int) mem.Addr {
+	return base + mem.Addr(i*lines*mem.LineWords)
+}
+
+// Init implements App.
+func (a *kmeans) Init(hm *htm.Memory, procs int, seed uint64) {
+	a.hm = hm
+	raw := htm.Raw{M: hm}
+	a.points = hm.Store().AllocLines(a.p * a.lines)
+	a.center = hm.Store().AllocLines(a.k * a.lines)
+	a.acc = hm.Store().AllocLines(a.k * a.lines)
+	a.seen = hm.Store().AllocLines(1)
+	a.bar = newBarrier(hm, procs)
+
+	rng := &splitmix{s: seed}
+	for i := 0; i < a.p; i++ {
+		for d := 0; d < a.dims; d++ {
+			raw.Store(rec(a.points, i, a.lines)+mem.Addr(d), int64(rng.intn(1000)))
+		}
+	}
+	for j := 0; j < a.k; j++ {
+		// Seed centers from the first K points.
+		for d := 0; d < a.dims; d++ {
+			raw.Store(rec(a.center, j, a.lines)+mem.Addr(d), raw.Load(rec(a.points, j, a.lines)+mem.Addr(d)))
+		}
+	}
+	ids := make([]int64, a.p)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	rng.shuffle(ids)
+	a.shares = partition(ids, procs)
+}
+
+// Work implements App.
+func (a *kmeans) Work(p *sim.Proc, s core.Scheme, stats *core.Stats) {
+	local := make([]int64, a.k*a.dims)
+	for it := 0; it < a.iters; it++ {
+		// Snapshot the centers once per iteration (kmeans keeps them in
+		// registers/L1 during the assignment scan; they only change at the
+		// barrier).
+		for j := 0; j < a.k; j++ {
+			for d := 0; d < a.dims; d++ {
+				local[j*a.dims+d] = a.hm.LoadNT(p, rec(a.center, j, a.lines)+mem.Addr(d))
+			}
+		}
+		for _, pi := range a.shares[p.ID()] {
+			// Nearest-center search, outside the critical section.
+			var x [32]int64
+			for d := 0; d < a.dims; d++ {
+				x[d] = a.hm.LoadNT(p, rec(a.points, int(pi), a.lines)+mem.Addr(d))
+			}
+			best, bestDist := 0, int64(1)<<62
+			for j := 0; j < a.k; j++ {
+				var dist int64
+				for d := 0; d < a.dims; d++ {
+					diff := x[d] - local[j*a.dims+d]
+					dist += diff * diff
+				}
+				p.Advance(uint64(a.dims)) // vectorized sub/mul/add
+				if dist < bestDist {
+					best, bestDist = j, dist
+				}
+			}
+			accRec := rec(a.acc, best, a.lines)
+			stats.Add(s.Critical(p, func(c htm.Ctx) {
+				for d := 0; d < a.dims; d++ {
+					c.Store(accRec+mem.Addr(d), c.Load(accRec+mem.Addr(d))+x[d])
+				}
+				c.Store(accRec+mem.Addr(a.dims), c.Load(accRec+mem.Addr(a.dims))+1)
+			}))
+		}
+		a.bar.wait(p)
+		if p.ID() == 0 {
+			a.recenter(p)
+		}
+		a.bar.wait(p)
+	}
+}
+
+// recenter recomputes centers from the accumulators and resets them
+// (single-threaded between barriers, so plain NT accesses).
+func (a *kmeans) recenter(p *sim.Proc) {
+	var total int64
+	for j := 0; j < a.k; j++ {
+		accRec := rec(a.acc, j, a.lines)
+		n := a.hm.LoadNT(p, accRec+mem.Addr(a.dims))
+		total += n
+		if n > 0 {
+			for d := 0; d < a.dims; d++ {
+				sum := a.hm.LoadNT(p, accRec+mem.Addr(d))
+				a.hm.StoreNT(p, rec(a.center, j, a.lines)+mem.Addr(d), sum/n)
+				a.hm.StoreNT(p, accRec+mem.Addr(d), 0)
+			}
+		}
+		a.hm.StoreNT(p, accRec+mem.Addr(a.dims), 0)
+	}
+	a.hm.StoreNT(p, a.seen, a.hm.LoadNT(p, a.seen)+total)
+}
+
+// Validate implements App.
+func (a *kmeans) Validate(raw htm.Raw) error {
+	want := int64(a.p * a.iters)
+	if got := raw.Load(a.seen); got != want {
+		return fmt.Errorf("kmeans: accumulated %d point-assignments, want %d (lost updates)", got, want)
+	}
+	for j := 0; j < a.k; j++ {
+		for d := 0; d < a.dims; d++ {
+			v := raw.Load(rec(a.center, j, a.lines) + mem.Addr(d))
+			if v < 0 || v >= 1000 {
+				return fmt.Errorf("kmeans: center %d dim %d = %d out of data range", j, d, v)
+			}
+		}
+	}
+	return nil
+}

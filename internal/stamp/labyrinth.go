@@ -1,0 +1,192 @@
+package stamp
+
+import (
+	"fmt"
+
+	"elision/internal/core"
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// labyrinth is the maze-routing kernel: each transaction plans a shortest
+// path between two endpoints with a breadth-first search over the shared
+// grid (reading a large region — the grid snapshot STAMP's router takes),
+// then claims every cell of the path. Transactions are very long with large
+// read and write sets; conflicts and serialization are the norm, matching
+// STAMP labyrinth's profile.
+type labyrinth struct {
+	w, h   int
+	routes int
+	hm     *htm.Memory
+	grid   mem.Addr // w*h words, row-major
+	failed []bool   // per route, post-run
+	paths  [][]mem.Addr
+	specs  []routeSpec
+	shares [][]int64 // route ids per proc
+}
+
+// routeSpec is a route's endpoints.
+type routeSpec struct {
+	x1, y1, x2, y2 int
+}
+
+func newLabyrinth(f Factor) *labyrinth {
+	return &labyrinth{w: 48, h: 48, routes: 24 * int(f)}
+}
+
+// Name implements App.
+func (a *labyrinth) Name() string { return "labyrinth" }
+
+// Words implements App.
+func (a *labyrinth) Words() int { return a.w*a.h + 1<<14 }
+
+// cell returns the address of grid cell (x, y).
+func (a *labyrinth) cell(x, y int) mem.Addr {
+	return a.grid + mem.Addr(y*a.w+x)
+}
+
+// Init implements App.
+func (a *labyrinth) Init(hm *htm.Memory, procs int, seed uint64) {
+	a.hm = hm
+	a.grid = hm.Store().Alloc(a.w * a.h)
+	a.failed = make([]bool, a.routes)
+	a.paths = make([][]mem.Addr, a.routes)
+	rng := &splitmix{s: seed}
+	ids := make([]int64, a.routes)
+	a.specs = make([]routeSpec, a.routes)
+	for i := 0; i < a.routes; i++ {
+		ids[i] = int64(i)
+		a.specs[i] = routeSpec{
+			x1: rng.intn(a.w), y1: rng.intn(a.h),
+			x2: rng.intn(a.w), y2: rng.intn(a.h),
+		}
+	}
+	rng.shuffle(ids)
+	a.shares = partition(ids, procs)
+}
+
+// bfs plans a shortest path from (x1,y1) to (x2,y2) reading the grid
+// through c, treating non-zero cells (other routes) as walls. The endpoint
+// cells themselves must also be free. Returns nil if no path exists. The
+// search reads an expanding region of the grid — the transaction's large
+// read set — and charges the queue processing as compute.
+func (a *labyrinth) bfs(c htm.Ctx, r routeSpec) []mem.Addr {
+	const unvisited = -1
+	prev := make([]int32, a.w*a.h)
+	for i := range prev {
+		prev[i] = unvisited
+	}
+	src := r.y1*a.w + r.x1
+	dst := r.y2*a.w + r.x2
+	if c.Load(a.grid+mem.Addr(src)) != 0 || (src != dst && c.Load(a.grid+mem.Addr(dst)) != 0) {
+		return nil
+	}
+	prev[src] = int32(src)
+	queue := []int32{int32(src)}
+	for len(queue) > 0 && prev[dst] == unvisited {
+		cur := queue[0]
+		queue = queue[1:]
+		c.Work(4) // dequeue + neighbour setup
+		x, y := int(cur)%a.w, int(cur)/a.w
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || nx >= a.w || ny < 0 || ny >= a.h {
+				continue
+			}
+			n := int32(ny*a.w + nx)
+			if prev[n] != unvisited {
+				continue
+			}
+			if int(n) != dst && c.Load(a.grid+mem.Addr(n)) != 0 {
+				prev[n] = -2 // wall; do not revisit
+				continue
+			}
+			prev[n] = cur
+			queue = append(queue, n)
+		}
+	}
+	if prev[dst] == unvisited || prev[dst] == -2 {
+		return nil
+	}
+	var path []mem.Addr
+	for at := int32(dst); ; at = prev[at] {
+		path = append(path, a.grid+mem.Addr(at))
+		if int(at) == src {
+			break
+		}
+	}
+	return path
+}
+
+// Work implements App.
+func (a *labyrinth) Work(p *sim.Proc, s core.Scheme, stats *core.Stats) {
+	for _, id := range a.shares[p.ID()] {
+		route := a.specs[id]
+		val := id + 1
+		var path []mem.Addr
+		stats.Add(s.Critical(p, func(c htm.Ctx) {
+			path = a.bfs(c, route)
+			for _, cell := range path {
+				c.Store(cell, val)
+			}
+		}))
+		if path == nil {
+			a.failed[id] = true
+		} else {
+			a.paths[id] = path
+		}
+	}
+}
+
+// Validate implements App.
+func (a *labyrinth) Validate(raw htm.Raw) error {
+	owned := make(map[int64]int)
+	for i := 0; i < a.w*a.h; i++ {
+		v := raw.Load(a.grid + mem.Addr(i))
+		if v < 0 || v > int64(a.routes) {
+			return fmt.Errorf("labyrinth: cell %d holds invalid route id %d", i, v)
+		}
+		if v != 0 {
+			owned[v]++
+		}
+	}
+	for id := int64(0); id < int64(a.routes); id++ {
+		if a.failed[id] {
+			if owned[id+1] != 0 {
+				return fmt.Errorf("labyrinth: failed route %d owns %d cells", id, owned[id+1])
+			}
+			continue
+		}
+		path := a.paths[id]
+		if len(path) == 0 {
+			return fmt.Errorf("labyrinth: successful route %d recorded no path", id)
+		}
+		if owned[id+1] != len(path) {
+			return fmt.Errorf("labyrinth: route %d owns %d cells, path has %d", id, owned[id+1], len(path))
+		}
+		// The committed path must be connected, duplicate-free, and owned.
+		seen := map[mem.Addr]bool{}
+		for i, cell := range path {
+			if seen[cell] {
+				return fmt.Errorf("labyrinth: route %d path revisits a cell", id)
+			}
+			seen[cell] = true
+			if got := raw.Load(cell); got != id+1 {
+				return fmt.Errorf("labyrinth: route %d cell holds %d", id, got)
+			}
+			if i > 0 {
+				d := int(path[i] - path[i-1])
+				if d != 1 && d != -1 && d != a.w && d != -a.w {
+					return fmt.Errorf("labyrinth: route %d path not connected at step %d", id, i)
+				}
+			}
+		}
+		// Endpoints match the spec.
+		r := a.specs[id]
+		if path[len(path)-1] != a.cell(r.x1, r.y1) || path[0] != a.cell(r.x2, r.y2) {
+			return fmt.Errorf("labyrinth: route %d endpoints wrong", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package stamp implements miniature Go kernels of the eight STAMP
+// applications the paper evaluates (§7.2), excluding bayes as the paper
+// does. Each kernel reproduces its original's workload shape — transaction
+// length, read/write-set size and contention level — on simulated memory,
+// with the original's transactions replaced by critical sections on one
+// global lock, exactly as the paper's methodology prescribes.
+//
+//	app           transactions      contention      footprint
+//	genome        short + medium    low             hash inserts, chain links
+//	intruder      short             high            shared queue + flow table
+//	kmeans-high   short             high            K=4 accumulators
+//	kmeans-low    short             moderate        K=32 accumulators
+//	labyrinth     very long         low rate/large  whole-path grid claims
+//	yada          medium-long       moderate        cavity rewrites
+//	ssca2         tiny              very low        adjacency appends
+//	vacation-high medium            moderate        16-item reservation tables
+//	vacation-low  medium            low             1024-item tables
+package stamp
+
+import (
+	"fmt"
+
+	"elision/internal/core"
+	"elision/internal/htm"
+	"elision/internal/sim"
+)
+
+// App is one STAMP kernel.
+type App interface {
+	// Name is the benchmark's identifier (e.g. "kmeans-high").
+	Name() string
+	// Words is how much simulated memory the kernel needs.
+	Words() int
+	// Init builds the kernel's state (with a Raw accessor) and partitions
+	// its work among procs deterministically.
+	Init(hm *htm.Memory, procs int, seed uint64)
+	// Work runs proc p's share to completion, executing every critical
+	// section through s and accounting outcomes in stats.
+	Work(p *sim.Proc, s core.Scheme, stats *core.Stats)
+	// Validate checks the final state for correctness.
+	Validate(raw htm.Raw) error
+}
+
+// Factor scales each kernel's input size: 1 is the benchmark default;
+// tests use smaller factors. It must be >= 1.
+type Factor int
+
+// New constructs an app by name.
+func New(name string, f Factor) (App, error) {
+	if f < 1 {
+		f = 1
+	}
+	switch name {
+	case "genome":
+		return newGenome(f), nil
+	case "intruder":
+		return newIntruder(f), nil
+	case "kmeans-high":
+		return newKMeans(f, true), nil
+	case "kmeans-low":
+		return newKMeans(f, false), nil
+	case "labyrinth":
+		return newLabyrinth(f), nil
+	case "yada":
+		return newYada(f), nil
+	case "ssca2":
+		return newSSCA2(f), nil
+	case "vacation-high":
+		return newVacation(f, true), nil
+	case "vacation-low":
+		return newVacation(f, false), nil
+	default:
+		return nil, fmt.Errorf("stamp: unknown app %q", name)
+	}
+}
+
+// Names lists the nine app configurations in the paper's Figure 11 order.
+func Names() []string {
+	return []string{
+		"genome", "intruder", "kmeans-high", "kmeans-low",
+		"labyrinth", "yada", "ssca2", "vacation-high", "vacation-low",
+	}
+}
+
+// Config describes one STAMP run.
+type Config struct {
+	App     string
+	Scheme  string // core scheme name
+	Lock    string // core lock name
+	Threads int
+	Factor  Factor
+	Seed    uint64
+	Quantum uint64
+}
+
+// Result is the outcome of one STAMP run. STAMP reports completion time, so
+// Cycles (the virtual time at which the last thread finished) is the
+// figure-of-merit; Figure 11 normalizes it to the standard lock's time.
+type Result struct {
+	Config Config
+	Cycles uint64
+	Stats  core.Stats
+}
+
+// Run executes one STAMP configuration to completion and validates the
+// output.
+func Run(cfg Config) (Result, error) {
+	app, err := New(cfg.App, cfg.Factor)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := sim.New(sim.Config{Procs: cfg.Threads, Seed: cfg.Seed, Quantum: cfg.Quantum})
+	if err != nil {
+		return Result{}, err
+	}
+	hm := htm.NewMemory(m, htm.Config{Words: app.Words()})
+	app.Init(hm, cfg.Threads, cfg.Seed)
+	l, err := core.BuildLock(hm, cfg.Lock, cfg.Threads)
+	if err != nil {
+		return Result{}, err
+	}
+	s, err := core.BuildScheme(hm, cfg.Scheme, l, cfg.Threads)
+	if err != nil {
+		return Result{}, err
+	}
+	var stats core.Stats
+	for i := 0; i < cfg.Threads; i++ {
+		m.Go(func(p *sim.Proc) { app.Work(p, s, &stats) })
+	}
+	if err := m.Run(); err != nil {
+		return Result{}, fmt.Errorf("stamp %s/%s/%s: %w", cfg.App, cfg.Scheme, cfg.Lock, err)
+	}
+	if err := app.Validate(htm.Raw{M: hm}); err != nil {
+		return Result{}, fmt.Errorf("stamp %s/%s/%s: validation: %w", cfg.App, cfg.Scheme, cfg.Lock, err)
+	}
+	var maxClock uint64
+	for i := 0; i < cfg.Threads; i++ {
+		if c := m.Proc(i).Clock(); c > maxClock {
+			maxClock = c
+		}
+	}
+	return Result{Config: cfg, Cycles: maxClock, Stats: stats}, nil
+}

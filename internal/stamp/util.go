@@ -1,0 +1,72 @@
+package stamp
+
+import (
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// barrier is a sense-reversing barrier over simulated memory, used by the
+// phased kernels (genome, kmeans). It is synchronization infrastructure, not
+// part of any critical section, so it uses plain non-transactional atomics.
+type barrier struct {
+	m     *htm.Memory
+	count mem.Addr
+	gen   mem.Addr
+	n     int
+}
+
+// newBarrier allocates a barrier for n procs.
+func newBarrier(hm *htm.Memory, n int) *barrier {
+	base := hm.Store().AllocLines(2)
+	return &barrier{m: hm, count: base, gen: base + mem.LineWords, n: n}
+}
+
+// wait blocks until all n procs have arrived.
+func (b *barrier) wait(p *sim.Proc) {
+	g := b.m.LoadNT(p, b.gen)
+	if b.m.FetchAddNT(p, b.count, 1) == int64(b.n-1) {
+		b.m.StoreNT(p, b.count, 0)
+		b.m.StoreNT(p, b.gen, g+1)
+		return
+	}
+	b.m.WaitCond(p, b.gen, func(v int64) bool { return v != g })
+}
+
+// splitmix is a tiny deterministic generator for Init-time shuffles (the
+// sim's per-proc RNGs only exist once the machine runs).
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// shuffle permutes xs deterministically.
+func (r *splitmix) shuffle(xs []int64) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// partition splits items into nearly equal contiguous shares, one per proc.
+func partition(items []int64, procs int) [][]int64 {
+	out := make([][]int64, procs)
+	for i := range out {
+		lo := i * len(items) / procs
+		hi := (i + 1) * len(items) / procs
+		out[i] = items[lo:hi]
+	}
+	return out
+}

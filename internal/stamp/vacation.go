@@ -1,0 +1,145 @@
+package stamp
+
+import (
+	"fmt"
+
+	"elision/internal/core"
+	"elision/internal/htm"
+	"elision/internal/rbtree"
+	"elision/internal/sim"
+)
+
+// vacation is the travel-reservation OLTP kernel: red-black-tree tables of
+// cars, rooms and flights hold per-item availability; a customer table holds
+// per-customer reservation counts. Each transaction runs several queries
+// against random items, decrementing availability and crediting the
+// customer. vacation-high queries more items drawn from a small (hot)
+// inventory; vacation-low queries fewer items from a large inventory.
+type vacation struct {
+	high     bool
+	items    int
+	queries  int
+	txns     int
+	capacity int64
+	hm       *htm.Memory
+	tables   [3]*rbtree.Tree
+	cust     *rbtree.Tree
+	shares   [][]int64 // transaction ids per proc
+	plans    [][]query // per-transaction query plans
+}
+
+// query is one precomputed reservation attempt.
+type query struct {
+	table int
+	item  int64
+}
+
+func newVacation(f Factor, high bool) *vacation {
+	v := &vacation{high: high, txns: 512 * int(f), capacity: 8}
+	if high {
+		v.items, v.queries = 16, 8
+	} else {
+		v.items, v.queries = 1024, 2
+	}
+	return v
+}
+
+// Name implements App.
+func (a *vacation) Name() string {
+	if a.high {
+		return "vacation-high"
+	}
+	return "vacation-low"
+}
+
+// Words implements App.
+func (a *vacation) Words() int { return (3*a.items+a.txns)*16 + 1<<17 }
+
+// Init implements App.
+func (a *vacation) Init(hm *htm.Memory, procs int, seed uint64) {
+	a.hm = hm
+	raw := htm.Raw{M: hm}
+	for t := range a.tables {
+		a.tables[t] = rbtree.New(hm, procs)
+		for i := 0; i < a.items; i++ {
+			a.tables[t].Insert(raw, int64(i), a.capacity)
+		}
+	}
+	a.cust = rbtree.New(hm, procs)
+
+	rng := &splitmix{s: seed}
+	ids := make([]int64, a.txns)
+	a.plans = make([][]query, a.txns)
+	for i := range ids {
+		ids[i] = int64(i)
+		plan := make([]query, a.queries)
+		for q := range plan {
+			plan[q] = query{table: rng.intn(3), item: int64(rng.intn(a.items))}
+		}
+		a.plans[i] = plan
+	}
+	rng.shuffle(ids)
+	a.shares = partition(ids, procs)
+}
+
+// Work implements App.
+func (a *vacation) Work(p *sim.Proc, s core.Scheme, stats *core.Stats) {
+	for _, id := range a.shares[p.ID()] {
+		plan := a.plans[id]
+		custKey := id // one customer record per transaction
+		stats.Add(s.Critical(p, func(c htm.Ctx) {
+			booked := int64(0)
+			for _, q := range plan {
+				avail, ok := a.tables[q.table].Lookup(c, q.item)
+				if ok && avail > 0 {
+					a.tables[q.table].Insert(c, q.item, avail-1)
+					booked++
+				}
+			}
+			a.cust.Insert(c, custKey, booked)
+		}))
+	}
+}
+
+// Validate implements App.
+func (a *vacation) Validate(raw htm.Raw) error {
+	// Conservation: total bookings recorded by customers must equal the
+	// total availability drained from the inventory tables.
+	var booked int64
+	for _, id := range a.sharesAll() {
+		v, ok := a.cust.Lookup(raw, id)
+		if !ok {
+			return fmt.Errorf("vacation: transaction %d left no customer record", id)
+		}
+		booked += v
+	}
+	var drained int64
+	for t := range a.tables {
+		if err := a.tables[t].CheckInvariants(raw); err != nil {
+			return fmt.Errorf("vacation: table %d: %w", t, err)
+		}
+		for i := 0; i < a.items; i++ {
+			avail, ok := a.tables[t].Lookup(raw, int64(i))
+			if !ok {
+				return fmt.Errorf("vacation: item %d missing from table %d", i, t)
+			}
+			if avail < 0 || avail > a.capacity {
+				return fmt.Errorf("vacation: item %d availability %d out of range", i, avail)
+			}
+			drained += a.capacity - avail
+		}
+	}
+	if booked != drained {
+		return fmt.Errorf("vacation: customers booked %d but inventory drained %d", booked, drained)
+	}
+	return nil
+}
+
+// sharesAll flattens the per-proc transaction shares.
+func (a *vacation) sharesAll() []int64 {
+	var out []int64
+	for _, s := range a.shares {
+		out = append(out, s...)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package stamp
+
+import (
+	"fmt"
+
+	"elision/internal/core"
+	"elision/internal/htm"
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// yada is the Delaunay-mesh-refinement kernel, abstracted: a fixed mesh of
+// triangles (nodes with three neighbor links), a subset initially "bad".
+// Refining a bad triangle reads its cavity (the triangle plus neighbors and
+// their neighbors), rewrites the cavity's links, and occasionally spoils a
+// neighbor, creating new work. Transactions are medium-to-long with
+// moderate contention — STAMP yada's profile.
+type yada struct {
+	n      int
+	hm     *htm.Memory
+	tris   mem.Addr // one line per triangle: [bad, n1, n2, n3]
+	fixed  mem.Addr // refinement counter (validation)
+	shares [][]int64
+}
+
+// Triangle field offsets.
+const (
+	triBad = 0
+	triN1  = 1
+)
+
+func newYada(f Factor) *yada {
+	return &yada{n: 512 * int(f)}
+}
+
+// Name implements App.
+func (a *yada) Name() string { return "yada" }
+
+// Words implements App.
+func (a *yada) Words() int { return a.n*8 + 1<<14 }
+
+// tri returns the address of triangle id.
+func (a *yada) tri(id int64) mem.Addr { return a.tris + mem.Addr(id*mem.LineWords) }
+
+// Init implements App.
+func (a *yada) Init(hm *htm.Memory, procs int, seed uint64) {
+	a.hm = hm
+	raw := htm.Raw{M: hm}
+	a.tris = hm.Store().AllocLines(a.n)
+	a.fixed = hm.Store().AllocLines(1)
+	rng := &splitmix{s: seed}
+	for i := 0; i < a.n; i++ {
+		t := a.tri(int64(i))
+		raw.Store(t+triBad, 0)
+		for j := 0; j < 3; j++ {
+			raw.Store(t+triN1+mem.Addr(j), int64(rng.intn(a.n)))
+		}
+	}
+	// A quarter of the triangles start bad.
+	bad := make([]int64, 0, a.n/4)
+	for i := 0; i < a.n/4; i++ {
+		id := int64(rng.intn(a.n))
+		raw.Store(a.tri(id)+triBad, 1)
+		bad = append(bad, id)
+	}
+	rng.shuffle(bad)
+	a.shares = partition(bad, procs)
+}
+
+// refine processes one triangle inside a critical section. It returns the
+// id of a newly-spoiled neighbor (or -1), and whether the triangle was
+// still bad when visited.
+func (a *yada) refine(c htm.Ctx, id int64, spoil bool) (spawned int64, wasBad bool) {
+	t := a.tri(id)
+	if c.Load(t+triBad) == 0 {
+		return -1, false
+	}
+	// Read the cavity: the triangle, its neighbors, and their neighbors.
+	var cavity [12]int64
+	cav := 0
+	for j := 0; j < 3; j++ {
+		n1 := c.Load(t + triN1 + mem.Addr(j))
+		cavity[cav] = n1
+		cav++
+		for k := 0; k < 3; k++ {
+			cavity[cav] = c.Load(a.tri(n1) + triN1 + mem.Addr(k))
+			cav++
+		}
+	}
+	// Retriangulate: fix this triangle and rotate the neighbor ring.
+	c.Store(t+triBad, 0)
+	first := c.Load(t + triN1)
+	c.Store(t+triN1, c.Load(t+triN1+1))
+	c.Store(t+triN1+1, c.Load(t+triN1+2))
+	c.Store(t+triN1+2, first)
+	c.Store(a.fixed, c.Load(a.fixed)+1)
+	// Occasionally the new triangulation spoils a cavity member.
+	if spoil {
+		victim := cavity[int(id)%cav]
+		if victim != id && c.Load(a.tri(victim)+triBad) == 0 {
+			c.Store(a.tri(victim)+triBad, 1)
+			return victim, true
+		}
+	}
+	return -1, true
+}
+
+// Work implements App.
+func (a *yada) Work(p *sim.Proc, s core.Scheme, stats *core.Stats) {
+	queue := append([]int64(nil), a.shares[p.ID()]...)
+	// spoilBudget bounds cascade work so refinement terminates (real yada
+	// terminates geometrically; the abstraction needs an explicit bound).
+	spoilBudget := len(queue)
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		spoil := id%5 == 0 && spoilBudget > 0
+		var spawned int64
+		stats.Add(s.Critical(p, func(c htm.Ctx) {
+			spawned, _ = a.refine(c, id, spoil)
+		}))
+		if spawned >= 0 {
+			spoilBudget--
+			queue = append(queue, spawned)
+		}
+	}
+}
+
+// Validate implements App.
+func (a *yada) Validate(raw htm.Raw) error {
+	for i := int64(0); i < int64(a.n); i++ {
+		if raw.Load(a.tri(i)+triBad) != 0 {
+			return fmt.Errorf("yada: triangle %d still bad after refinement", i)
+		}
+		for j := 0; j < 3; j++ {
+			n := raw.Load(a.tri(i) + triN1 + mem.Addr(j))
+			if n < 0 || n >= int64(a.n) {
+				return fmt.Errorf("yada: triangle %d neighbor %d out of range: %d", i, j, n)
+			}
+		}
+	}
+	if raw.Load(a.fixed) == 0 {
+		return fmt.Errorf("yada: no refinements recorded")
+	}
+	return nil
+}

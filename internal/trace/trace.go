@@ -1,0 +1,167 @@
+// Package trace records per-thread transactional events from a simulated
+// run and renders them as an ASCII swimlane timeline — the visual
+// counterpart of §4's serialization-dynamics analysis. A lemming cascade is
+// immediately visible: a column of aborts followed by long lock-held spans
+// on every lane.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind int8
+
+// Event kinds.
+const (
+	// TxBegin marks a transaction start.
+	TxBegin Kind = iota + 1
+	// TxCommit marks a successful commit.
+	TxCommit
+	// TxAbort marks an abort; Arg carries the cause code.
+	TxAbort
+	// LockAcquire marks a non-speculative main-lock acquisition (the
+	// lemming trigger).
+	LockAcquire
+	// LockRelease marks the main lock's release.
+	LockRelease
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case TxBegin:
+		return "begin"
+	case TxCommit:
+		return "commit"
+	case TxAbort:
+		return "abort"
+	case LockAcquire:
+		return "lock"
+	case LockRelease:
+		return "unlock"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	When uint64
+	Proc int
+	Kind Kind
+	// Arg is kind-specific (abort cause, lock id).
+	Arg int64
+}
+
+// Tracer accumulates events. A nil *Tracer is a valid no-op sink, so
+// instrumented code pays one nil check when tracing is off.
+type Tracer struct {
+	events []Event
+	limit  int
+}
+
+// New creates a tracer that keeps at most limit events (0 = 1<<20).
+func New(limit int) *Tracer {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Tracer{limit: limit}
+}
+
+// Emit records an event. Safe on a nil receiver.
+func (t *Tracer) Emit(when uint64, proc int, kind Kind, arg int64) {
+	if t == nil || len(t.events) >= t.limit {
+		return
+	}
+	t.events = append(t.events, Event{When: when, Proc: proc, Kind: kind, Arg: arg})
+}
+
+// Events returns the recorded events (shared slice; callers must not
+// modify).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Timeline renders the window [from, to) as an ASCII swimlane per proc,
+// with cols columns of (to-from)/cols cycles each. Cell glyphs, by
+// priority: 'L' a lock acquire, 'x' an abort, 'c' a commit, 'b' a begin,
+// '.' nothing.
+func (t *Tracer) Timeline(w io.Writer, procs int, from, to uint64, cols int) {
+	if cols <= 0 || to <= from {
+		return
+	}
+	width := (to - from + uint64(cols) - 1) / uint64(cols)
+	if width == 0 {
+		width = 1
+	}
+	grid := make([][]byte, procs)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", cols))
+	}
+	prio := func(g byte) int {
+		switch g {
+		case 'L':
+			return 4
+		case 'x':
+			return 3
+		case 'c':
+			return 2
+		case 'b':
+			return 1
+		default:
+			return 0
+		}
+	}
+	for _, e := range t.Events() {
+		if e.When < from || e.When >= to || e.Proc >= procs {
+			continue
+		}
+		col := int((e.When - from) / width)
+		if col >= cols {
+			col = cols - 1
+		}
+		var g byte
+		switch e.Kind {
+		case TxBegin:
+			g = 'b'
+		case TxCommit:
+			g = 'c'
+		case TxAbort:
+			g = 'x'
+		case LockAcquire, LockRelease:
+			g = 'L'
+		default:
+			continue
+		}
+		if prio(g) > prio(grid[e.Proc][col]) {
+			grid[e.Proc][col] = g
+		}
+	}
+	fmt.Fprintf(w, "timeline %d..%d cycles (%d cycles/col; b=begin c=commit x=abort L=lock)\n", from, to, width)
+	for i, lane := range grid {
+		fmt.Fprintf(w, "  p%-2d %s\n", i, lane)
+	}
+}
+
+// Counts tallies events by kind.
+func (t *Tracer) Counts() map[Kind]int {
+	out := make(map[Kind]int, 5)
+	for _, e := range t.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

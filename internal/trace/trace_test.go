@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(1, 0, TxBegin, 0)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer misbehaved")
+	}
+}
+
+func TestEmitAndCounts(t *testing.T) {
+	tr := New(0)
+	tr.Emit(1, 0, TxBegin, 0)
+	tr.Emit(2, 0, TxAbort, 1)
+	tr.Emit(3, 1, TxBegin, 0)
+	tr.Emit(4, 1, TxCommit, 0)
+	c := tr.Counts()
+	if c[TxBegin] != 2 || c[TxAbort] != 1 || c[TxCommit] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestLimitBoundsMemory(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Emit(uint64(i), 0, TxBegin, 0)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+}
+
+func TestTimelineRendersGlyphs(t *testing.T) {
+	tr := New(0)
+	tr.Emit(10, 0, TxBegin, 0)
+	tr.Emit(20, 0, TxAbort, 1)
+	tr.Emit(30, 1, LockAcquire, 0)
+	tr.Emit(90, 1, TxCommit, 0)
+	var sb strings.Builder
+	tr.Timeline(&sb, 2, 0, 100, 10)
+	out := sb.String()
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "p1") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "L") || !strings.Contains(out, "c") {
+		t.Fatalf("missing glyphs:\n%s", out)
+	}
+	// Priority: an abort in the same cell as a begin renders as 'x'.
+	lane0 := out[strings.Index(out, "p0"):]
+	lane0 = lane0[:strings.Index(lane0, "\n")]
+	if strings.Count(lane0, "b")+strings.Count(lane0, "x") != 2 {
+		t.Fatalf("lane 0 glyphs wrong: %s", lane0)
+	}
+}
+
+func TestTimelineEmptyWindow(t *testing.T) {
+	tr := New(0)
+	var sb strings.Builder
+	tr.Timeline(&sb, 1, 100, 100, 10) // empty window: no output, no panic
+	tr.Timeline(&sb, 1, 0, 100, 0)
+	if sb.Len() != 0 {
+		t.Fatalf("unexpected output: %q", sb.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		TxBegin: "begin", TxCommit: "commit", TxAbort: "abort",
+		LockAcquire: "lock", LockRelease: "unlock",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v.String() = %q, want %q", int8(k), k.String(), want)
+		}
+	}
+}
