@@ -4,6 +4,7 @@
 //	elide -scheme hle-scm -lock mcs -size 1024 -mix 10,10 -threads 8
 //	elide -scheme opt-slr -lock ttas -structure hashtable -smt
 //	elide -scheme hle -lock mcs -abort-breakdown
+//	elide -scheme hle -lock mcs -hot-lines 8 -metrics - -trace-json run.json
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 
 	"elision/internal/harness"
 	"elision/internal/htm"
+	"elision/internal/obs"
+	"elision/internal/trace"
 )
 
 func main() {
@@ -34,6 +37,9 @@ func run() error {
 	seed := flag.Uint64("seed", 42, "random seed")
 	smt := flag.Bool("smt", false, "4-core/8-hyperthread topology")
 	breakdown := flag.Bool("abort-breakdown", false, "print the abort-cause histogram")
+	traceJSON := flag.String("trace-json", "", "write the run's Chrome/Perfetto trace-event JSON to this file")
+	metricsOut := flag.String("metrics", "", "write the metrics report to this file ('-' = stdout; a .csv suffix selects CSV)")
+	hotLines := flag.Int("hot-lines", 0, "print the top-N conflict hot lines")
 	flag.Parse()
 
 	var mix harness.Mix
@@ -60,7 +66,18 @@ func run() error {
 	if *smt {
 		cfg.Cores = 4
 	}
-	res := harness.RunDataStructure(cfg)
+
+	// Attach observability sinks only when a flag asks for their output;
+	// an unobserved run produces identical virtual-time results either way.
+	var col *obs.Collector
+	var tr *trace.Tracer
+	if *metricsOut != "" || *hotLines > 0 {
+		col = obs.NewCollector(string(cfg.Scheme), string(cfg.Lock), cfg.BudgetCycles/20)
+	}
+	if *traceJSON != "" {
+		tr = trace.New(0)
+	}
+	res := harness.RunDataStructureObserved(cfg, col, tr)
 	s := res.Stats
 
 	fmt.Printf("%s over %s, %d threads, size %d, %s, %d cycles\n",
@@ -80,5 +97,60 @@ func run() error {
 			}
 		}
 	}
+
+	annotate := func(line int) string {
+		if res.HasLockLine(line) {
+			return " (lock)"
+		}
+		return ""
+	}
+	if *hotLines > 0 {
+		fmt.Println()
+		col.Hot.WriteText(os.Stdout, *hotLines, annotate)
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, col, *hotLines, annotate); err != nil {
+			return fmt.Errorf("elide: %w", err)
+		}
+	}
+	if *traceJSON != "" {
+		if err := writeTrace(*traceJSON, tr); err != nil {
+			return fmt.Errorf("elide: %w", err)
+		}
+		fmt.Printf("wrote %d trace events to %s (open in ui.perfetto.dev or chrome://tracing)\n",
+			tr.Len(), *traceJSON)
+	}
 	return nil
+}
+
+// writeMetrics dumps the collector's report to path: "-" selects stdout, a
+// .csv suffix selects the CSV form, anything else the text report.
+func writeMetrics(path string, col *obs.Collector, hotN int, annotate func(line int) string) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(path, ".csv") {
+		col.WriteCSV(w)
+	} else {
+		col.WriteText(w, hotN, annotate)
+	}
+	return nil
+}
+
+// writeTrace exports the tracer's events as Chrome trace-event JSON.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.WriteChromeTrace(f, tr.Events(), func(arg int64) string {
+		return htm.Cause(arg).String()
+	})
 }

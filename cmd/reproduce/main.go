@@ -13,9 +13,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"elision/internal/harness"
+	"elision/internal/htm"
+	"elision/internal/obs"
 )
 
 func main() {
@@ -28,6 +31,9 @@ func main() {
 func run() error {
 	quick := flag.Bool("quick", false, "reduced scale")
 	outDir := flag.String("out", "results", "output directory")
+	traceJSON := flag.String("trace-json", "", "write the §4 lemming run's Chrome/Perfetto trace-event JSON to this file")
+	metricsOut := flag.String("metrics", "", "write the §4 lemming run's metrics report to this file ('-' = stdout; a .csv suffix selects CSV)")
+	hotLines := flag.Int("hot-lines", 0, "print the §4 lemming run's top-N conflict hot lines")
 	flag.Parse()
 
 	sc := harness.DefaultScale()
@@ -38,6 +44,12 @@ func run() error {
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
+	}
+
+	if *traceJSON != "" || *metricsOut != "" || *hotLines > 0 {
+		if err := observeLemming(sc, *traceJSON, *metricsOut, *hotLines); err != nil {
+			return err
+		}
 	}
 
 	r := harness.NewRunner()
@@ -102,6 +114,54 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "   %s done in %v\n", j.name, time.Since(start).Round(time.Second))
+	}
+	return nil
+}
+
+// observeLemming runs the §4 serialization-dynamics point (plain HLE over
+// MCS) with the observability rig attached and writes whichever outputs the
+// flags requested: the hot-line table to stdout, the metrics report, and the
+// Chrome trace-event JSON.
+func observeLemming(sc harness.Scale, traceJSON, metricsOut string, hotN int) error {
+	fmt.Fprintln(os.Stderr, "== observe (§4 lemming point: hle over mcs) ==")
+	res, col, tr := harness.ObservedRun(sc.Section4Config(harness.SchemeHLE, harness.LockMCS))
+	annotate := func(line int) string {
+		if res.HasLockLine(line) {
+			return " (lock)"
+		}
+		return ""
+	}
+	if hotN > 0 {
+		col.Hot.WriteText(os.Stdout, hotN, annotate)
+	}
+	if metricsOut != "" {
+		w := os.Stdout
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if strings.HasSuffix(metricsOut, ".csv") {
+			col.WriteCSV(w)
+		} else {
+			col.WriteText(w, hotN, annotate)
+		}
+	}
+	if traceJSON != "" {
+		f, err := os.Create(traceJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTrace(f, tr.Events(), func(arg int64) string {
+			return htm.Cause(arg).String()
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "   wrote %d trace events to %s\n", tr.Len(), traceJSON)
 	}
 	return nil
 }

@@ -61,6 +61,10 @@ type Outcome struct {
 	// AuxUsed is true when an SCM scheme routed the thread through the
 	// serializing path (auxiliary lock).
 	AuxUsed bool
+	// AuxDwell is the number of cycles the thread spent holding auxiliary
+	// locks (0 unless AuxUsed) — the serializing path's residency, which
+	// bounds how long one conflict community stays serialized.
+	AuxDwell uint64
 	// LastCause is the abort cause of the final failed attempt, if any.
 	LastCause htm.Cause
 }
@@ -363,6 +367,7 @@ func (s *SCM) attempt(p *sim.Proc, body func(c htm.Ctx)) htm.Status {
 func (s *SCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 	var o Outcome
 	auxOwner := false
+	var auxStart uint64
 	retries := 0
 	for {
 		if s.mode == SCMOverHLE {
@@ -384,6 +389,7 @@ func (s *SCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 		if !auxOwner {
 			s.aux.Lock(p)
 			auxOwner = true
+			auxStart = p.Clock()
 			o.AuxUsed = true
 		} else {
 			retries++
@@ -416,6 +422,7 @@ func (s *SCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 	}
 	if auxOwner {
 		s.aux.Unlock(p)
+		o.AuxDwell = p.Clock() - auxStart
 	}
 	return o
 }

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"elision/internal/htm"
+	"elision/internal/obs"
+	"elision/internal/sim"
+)
+
+// Observed decorates a Scheme, feeding each completed critical section to a
+// metrics collector: per-outcome latency split spec/non-spec, retries per
+// op, and the SCM serializing path's auxiliary-lock dwell time. The
+// transactional layer's metrics (commits, aborts by cause, set sizes, hot
+// lines) flow through the Memory's collector independently; together they
+// give §4's accounting in time-resolved form.
+type Observed struct {
+	inner Scheme
+	col   *obs.Collector
+}
+
+var _ Scheme = (*Observed)(nil)
+
+// Observe wraps s so its outcomes feed col. A nil collector returns s
+// unchanged, keeping the uninstrumented path allocation- and branch-free.
+func Observe(s Scheme, col *obs.Collector) Scheme {
+	if col == nil {
+		return s
+	}
+	return &Observed{inner: s, col: col}
+}
+
+// Name implements Scheme.
+func (s *Observed) Name() string { return s.inner.Name() }
+
+// Critical implements Scheme.
+func (s *Observed) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
+	start := p.Clock()
+	o := s.inner.Critical(p, body)
+	s.col.Op(p.Clock(), o.Speculative, p.Clock()-start, o.Attempts-1, o.AuxUsed, o.AuxDwell)
+	return o
+}

@@ -87,6 +87,7 @@ func (s *GroupedSCM) attempt(p *sim.Proc, body func(c htm.Ctx)) htm.Status {
 func (s *GroupedSCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 	var o Outcome
 	heldAux := -1
+	var auxStart uint64
 	retries := 0
 	for {
 		if s.mode == SCMOverHLE {
@@ -105,12 +106,16 @@ func (s *GroupedSCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 		case heldAux == -1:
 			s.aux[g].Lock(p)
 			heldAux = g
+			auxStart = p.Clock()
 			o.AuxUsed = true
 		case heldAux != g:
-			// The conflict moved to another community; migrate.
+			// The conflict moved to another community; migrate. The dwell
+			// accounting excludes the handover gap: only held time counts.
 			s.aux[heldAux].Unlock(p)
+			o.AuxDwell += p.Clock() - auxStart
 			s.aux[g].Lock(p)
 			heldAux = g
+			auxStart = p.Clock()
 			retries++
 		default:
 			retries++
@@ -141,6 +146,7 @@ func (s *GroupedSCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 	}
 	if heldAux >= 0 {
 		s.aux[heldAux].Unlock(p)
+		o.AuxDwell += p.Clock() - auxStart
 	}
 	return o
 }

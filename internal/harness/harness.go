@@ -12,8 +12,10 @@ import (
 	"elision/internal/hashtable"
 	"elision/internal/htm"
 	"elision/internal/locks"
+	"elision/internal/obs"
 	"elision/internal/rbtree"
 	"elision/internal/sim"
+	"elision/internal/trace"
 )
 
 // LockID selects a lock implementation.
@@ -122,6 +124,21 @@ type Result struct {
 	Cycles uint64
 	// Slots is the per-slot timeline when Config.SlotCycles > 0.
 	Slots []Slot
+	// LockLines is the set of cache lines the point's lock protocol
+	// occupies (nil when the lock cannot report them). Observed runs use it
+	// to annotate the hot-line profiler's table and to assert whether the
+	// lock's line is what transactions are aborting on.
+	LockLines []int
+}
+
+// HasLockLine reports whether line belongs to the result's lock footprint.
+func (r Result) HasLockLine(line int) bool {
+	for _, l := range r.LockLines {
+		if l == line {
+			return true
+		}
+	}
+	return false
 }
 
 // Throughput returns operations per million virtual cycles.
@@ -180,8 +197,19 @@ type dataStructure interface {
 // RunDataStructure executes one benchmark point and returns its result.
 // Runs are deterministic functions of the config.
 func RunDataStructure(cfg DSConfig) Result {
+	return RunDataStructureObserved(cfg, nil, nil)
+}
+
+// RunDataStructureObserved is RunDataStructure with observability attached:
+// col (when non-nil) receives the run's metrics, hot lines and time series,
+// and tr (when non-nil) records the run's events for timelines and
+// Chrome-trace export. Instrumentation only reads the simulation, so an
+// observed run's virtual-time results equal the unobserved run's.
+func RunDataStructureObserved(cfg DSConfig, col *obs.Collector, tr *trace.Tracer) Result {
 	m := sim.MustNew(sim.Config{Procs: cfg.Threads, Seed: cfg.Seed, Quantum: cfg.Quantum, Cores: cfg.Cores})
 	hm := htm.NewMemory(m, htm.Config{Words: memoryWords(cfg)})
+	hm.SetCollector(col)
+	hm.SetTracer(tr)
 
 	var ds dataStructure
 	switch cfg.Structure {
@@ -206,7 +234,11 @@ func RunDataStructure(cfg DSConfig) Result {
 	}
 
 	l := buildLock(hm, cfg.Lock, cfg.Threads)
-	s := buildScheme(hm, cfg.Scheme, l, cfg.Threads)
+	s := core.Observe(buildScheme(hm, cfg.Scheme, l, cfg.Threads), col)
+	var lockLines []int
+	if lr, ok := l.(locks.LineReporter); ok {
+		lockLines = lr.LockLines()
+	}
 
 	var stats core.Stats
 	var slots []Slot
@@ -250,5 +282,7 @@ func RunDataStructure(cfg DSConfig) Result {
 			maxClock = c
 		}
 	}
-	return Result{Config: cfg, Stats: stats, Cycles: maxClock, Slots: slots}
+	col.SetGauge("run_cycles", int64(maxClock))
+	col.SetGauge("run_threads", int64(cfg.Threads))
+	return Result{Config: cfg, Stats: stats, Cycles: maxClock, Slots: slots, LockLines: lockLines}
 }

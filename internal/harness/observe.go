@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"elision/internal/obs"
+	"elision/internal/trace"
+)
+
+// Section4Config is the §4 serialization-dynamics workload as a benchmark
+// point: a size-64 tree under 20% updates at the scale's maximum thread
+// count, over the given scheme and lock. With SchemeHLE over LockMCS it is
+// the canonical lemming run; the same point under SchemeOptSLR shows the
+// collapse absent.
+func (sc Scale) Section4Config(scheme SchemeID, lock LockID) DSConfig {
+	return DSConfig{
+		Structure:    StructTree,
+		Threads:      sc.maxThreads(),
+		Size:         64,
+		Mix:          MixModerate,
+		Scheme:       scheme,
+		Lock:         lock,
+		BudgetCycles: sc.Budget,
+		Seed:         sc.Seed,
+		Quantum:      sc.Quantum,
+		Cores:        sc.Cores,
+	}
+}
+
+// ObservedRun executes one benchmark point with a full observability rig
+// attached and returns the result alongside the fed collector and tracer.
+// The collector's window width is sized to the run: ~20 windows across the
+// cycle budget, so the lemming collapse is visible as a handful of numbers.
+func ObservedRun(cfg DSConfig) (Result, *obs.Collector, *trace.Tracer) {
+	width := cfg.BudgetCycles / 20
+	col := obs.NewCollector(string(cfg.Scheme), string(cfg.Lock), width)
+	tr := trace.New(0)
+	res := RunDataStructureObserved(cfg, col, tr)
+	return res, col, tr
+}

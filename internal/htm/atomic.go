@@ -52,10 +52,16 @@ func (m *Memory) Atomic(p *sim.Proc, body func(tx *Tx)) Status {
 			tx.cleanup()
 			p.Advance(m.cost.TxAbort)
 			m.tracer.Emit(p.Clock(), p.ID(), trace.TxAbort, int64(st.Cause))
+			// cleanup leaves the set maps intact, so the collector sees the
+			// sizes reached before the abort — and, for conflicts, the line
+			// the abort was attributed to.
+			m.col.TxAbort(p.Clock(), st.Cause.String(),
+				len(tx.readLines), len(tx.writeLines), st.ConflictLine, st.ConflictTid)
 		}()
 		body(tx)
 		st = tx.commit()
 		m.tracer.Emit(p.Clock(), p.ID(), trace.TxCommit, 0)
+		m.col.TxCommit(p.Clock(), len(tx.readLines), len(tx.writeLines))
 	}()
 	m.cur[p.ID()] = nil
 	return st

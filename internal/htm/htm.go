@@ -28,6 +28,7 @@ import (
 	"math/bits"
 
 	"elision/internal/mem"
+	"elision/internal/obs"
 	"elision/internal/sim"
 	"elision/internal/trace"
 )
@@ -148,7 +149,8 @@ type Memory struct {
 	maxRead  int
 	maxWrite int
 	policy   Policy
-	tracer   *trace.Tracer // nil when tracing is off
+	tracer   *trace.Tracer  // nil when tracing is off
+	col      *obs.Collector // nil when observability is off
 }
 
 // lineMeta is the per-cache-line state. readers/writer track transactional
@@ -202,6 +204,14 @@ func (m *Memory) SetTracer(t *trace.Tracer) { m.tracer = t }
 
 // Tracer returns the attached tracer, possibly nil.
 func (m *Memory) Tracer() *trace.Tracer { return m.tracer }
+
+// SetCollector attaches a metrics collector fed by every commit and abort:
+// abort causes, read/write-set sizes, and the conflicting cache line for
+// the hot-line profiler (nil turns observability off).
+func (m *Memory) SetCollector(c *obs.Collector) { m.col = c }
+
+// Collector returns the attached collector, possibly nil.
+func (m *Memory) Collector() *obs.Collector { return m.col }
 
 // TraceLock records a non-speculative main-lock acquisition — schemes call
 // this on their fallback paths so timelines show lemming triggers.

@@ -37,6 +37,9 @@ func NewBackoffTTAS(m *htm.Memory) *BackoffTTAS {
 // Name implements Lock.
 func (l *BackoffTTAS) Name() string { return "ttas-backoff" }
 
+// LockLines implements LineReporter: the single lock word's line.
+func (l *BackoffTTAS) LockLines() []int { return []int{mem.LineOf(l.word)} }
+
 // Lock implements Lock.
 func (l *BackoffTTAS) Lock(p *sim.Proc) {
 	delay := l.MinDelay

@@ -18,6 +18,9 @@ type CLH struct {
 	// hardware), so they live on the Go side, not in simulated memory.
 	myNode []mem.Addr
 	pred   []mem.Addr
+	// lines is the fixed set of cache lines the protocol touches (tail,
+	// dummy and every node); node ownership rotates but the set does not.
+	lines []int
 }
 
 // clhLocked is the node's flag offset (nodes are one line each).
@@ -36,11 +39,16 @@ func NewCLH(m *htm.Memory, procs int) *CLH {
 	}
 	dummy := m.Store().AllocLines(1) // locked = 0: lock free
 	m.Store().StoreWord(l.tail, int64(dummy))
+	l.lines = []int{mem.LineOf(l.tail), mem.LineOf(dummy)}
 	for i := range l.myNode {
 		l.myNode[i] = m.Store().AllocLines(1)
+		l.lines = append(l.lines, mem.LineOf(l.myNode[i]))
 	}
 	return l
 }
+
+// LockLines implements LineReporter.
+func (l *CLH) LockLines() []int { return l.lines }
 
 // Name implements Lock.
 func (l *CLH) Name() string { return "clh" }

@@ -28,6 +28,16 @@ type Lock interface {
 	WaitUntilFree(p *sim.Proc)
 }
 
+// LineReporter is implemented by locks that can report the simulated cache
+// lines holding their lock words and queue nodes. The observability layer
+// uses it to attribute hot-line profiler entries: a lemming run's conflicts
+// land on these lines, an SLR run's should not.
+type LineReporter interface {
+	// LockLines returns the cache-line indices (mem.LineOf) of every word
+	// the lock protocol touches: the lock word itself plus any queue nodes.
+	LockLines() []int
+}
+
 // Elidable is a Lock that supports hardware lock elision.
 type Elidable interface {
 	Lock

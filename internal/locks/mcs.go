@@ -14,6 +14,7 @@ type MCS struct {
 	m     *htm.Memory
 	tail  mem.Addr
 	nodes mem.Addr // one line per proc: [locked, next]
+	procs int
 }
 
 // Node field offsets within a proc's MCS node.
@@ -34,7 +35,19 @@ func NewMCS(m *htm.Memory, procs int) *MCS {
 		m:     m,
 		tail:  m.Store().AllocLines(1),
 		nodes: m.Store().AllocLines(procs),
+		procs: procs,
 	}
+}
+
+// LockLines implements LineReporter: the tail word's line plus every queue
+// node's line — the whole footprint of the lock protocol.
+func (l *MCS) LockLines() []int {
+	lines := make([]int, 0, l.procs+1)
+	lines = append(lines, mem.LineOf(l.tail))
+	for pid := 0; pid < l.procs; pid++ {
+		lines = append(lines, mem.LineOf(l.node(pid)))
+	}
+	return lines
 }
 
 // node returns the queue node address for proc pid.

@@ -42,6 +42,9 @@ func (l *Ticket) NextAddr() mem.Addr { return l.base + tkNext }
 // OwnerAddr returns the address of the "owner" counter.
 func (l *Ticket) OwnerAddr() mem.Addr { return l.base + tkOwner }
 
+// LockLines implements LineReporter: both counters share one line.
+func (l *Ticket) LockLines() []int { return []int{mem.LineOf(l.base)} }
+
 // Lock implements Lock.
 func (l *Ticket) Lock(p *sim.Proc) {
 	t := l.m.FetchAddNT(p, l.base+tkNext, 1)

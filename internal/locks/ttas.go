@@ -30,6 +30,9 @@ func (l *TTAS) Name() string { return "ttas" }
 // white-box tests).
 func (l *TTAS) WordAddr() mem.Addr { return l.word }
 
+// LockLines implements LineReporter: the single lock word's line.
+func (l *TTAS) LockLines() []int { return []int{mem.LineOf(l.word)} }
+
 // Lock implements Lock: spin while held, then TAS; repeat on failure.
 func (l *TTAS) Lock(p *sim.Proc) {
 	for {

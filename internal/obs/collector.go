@@ -1,0 +1,189 @@
+package obs
+
+import "io"
+
+// Metric names fed by the instrumented layers. Counters and histograms
+// carry the collector's base labels (scheme, lock) plus the extra
+// dimensions noted here.
+const (
+	// MetricCommits counts transactional commits (htm).
+	MetricCommits = "htm_commits_total"
+	// MetricAborts counts transactional aborts; extra label cause=<cause>.
+	MetricAborts = "htm_aborts_total"
+	// MetricReadSet / MetricWriteSet are set-size histograms in cache
+	// lines; extra label at=commit|abort.
+	MetricReadSet  = "htm_readset_lines"
+	MetricWriteSet = "htm_writeset_lines"
+	// MetricOps counts completed critical sections; extra label
+	// path=spec|nonspec.
+	MetricOps = "cs_ops_total"
+	// MetricLatency is the critical-section latency histogram in cycles;
+	// extra label path=spec|nonspec.
+	MetricLatency = "cs_latency_cycles"
+	// MetricRetries is the histogram of extra attempts per completed op
+	// (attempts beyond the first).
+	MetricRetries = "cs_retries_per_op"
+	// MetricAuxEntries counts SCM serializing-path entries.
+	MetricAuxEntries = "cs_aux_entries_total"
+	// MetricAuxDwell is the histogram of cycles spent holding an SCM
+	// auxiliary lock.
+	MetricAuxDwell = "cs_aux_dwell_cycles"
+)
+
+// Collector bundles the observability sinks one instrumented run feeds: the
+// registry, the conflict hot-line profiler and the windowed time series.
+// A nil *Collector is a valid no-op sink, mirroring *trace.Tracer, so the
+// htm and core hot paths pay a single nil check when observability is off.
+type Collector struct {
+	// Reg is the metrics registry.
+	Reg *Registry
+	// Hot is the conflict hot-line profiler.
+	Hot *HotLines
+	// Series is the windowed time series.
+	Series *Series
+	// base carries the run's identity labels (scheme, lock).
+	base Labels
+
+	// Pre-resolved handles for the per-transaction hot path.
+	commits       *Counter
+	readAtCommit  *Histogram
+	writeAtCommit *Histogram
+	readAtAbort   *Histogram
+	writeAtAbort  *Histogram
+	opsSpec       *Counter
+	opsNonSpec    *Counter
+	latSpec       *Histogram
+	latNonSpec    *Histogram
+	retries       *Histogram
+	auxEntries    *Counter
+	auxDwell      *Histogram
+}
+
+// NewCollector builds a collector labelled with the run's scheme and lock,
+// recording time series in windows of windowCycles (0 selects the default).
+func NewCollector(scheme, lock string, windowCycles uint64) *Collector {
+	base := Labels{}
+	if scheme != "" {
+		base = base.With("scheme", scheme)
+	}
+	if lock != "" {
+		base = base.With("lock", lock)
+	}
+	reg := NewRegistry()
+	return &Collector{
+		Reg:    reg,
+		Hot:    NewHotLines(),
+		Series: NewSeries(windowCycles),
+		base:   base,
+
+		commits:       reg.Counter(MetricCommits, base),
+		readAtCommit:  reg.Histogram(MetricReadSet, base.With("at", "commit")),
+		writeAtCommit: reg.Histogram(MetricWriteSet, base.With("at", "commit")),
+		readAtAbort:   reg.Histogram(MetricReadSet, base.With("at", "abort")),
+		writeAtAbort:  reg.Histogram(MetricWriteSet, base.With("at", "abort")),
+		opsSpec:       reg.Counter(MetricOps, base.With("path", "spec")),
+		opsNonSpec:    reg.Counter(MetricOps, base.With("path", "nonspec")),
+		latSpec:       reg.Histogram(MetricLatency, base.With("path", "spec")),
+		latNonSpec:    reg.Histogram(MetricLatency, base.With("path", "nonspec")),
+		retries:       reg.Histogram(MetricRetries, base),
+		auxEntries:    reg.Counter(MetricAuxEntries, base),
+		auxDwell:      reg.Histogram(MetricAuxDwell, base),
+	}
+}
+
+// BaseLabels returns the collector's identity labels (scheme, lock).
+func (c *Collector) BaseLabels() Labels {
+	if c == nil {
+		return nil
+	}
+	return c.base
+}
+
+// TxCommit records one transactional commit at virtual time when, with the
+// committed read/write-set sizes in cache lines. Safe on a nil receiver.
+func (c *Collector) TxCommit(when uint64, readLines, writeLines int) {
+	if c == nil {
+		return
+	}
+	c.commits.Inc()
+	c.readAtCommit.Observe(uint64(readLines))
+	c.writeAtCommit.Observe(uint64(writeLines))
+	c.Series.RecordCommit(when)
+}
+
+// TxAbort records one transactional abort at virtual time when: the cause,
+// the set sizes reached before the abort, and — for conflict aborts — the
+// conflicting cache line and the requestor that doomed us (negative when
+// unknown). Safe on a nil receiver.
+func (c *Collector) TxAbort(when uint64, cause string, readLines, writeLines, conflictLine, conflictTid int) {
+	if c == nil {
+		return
+	}
+	c.Reg.Counter(MetricAborts, c.base.With("cause", cause)).Inc()
+	c.readAtAbort.Observe(uint64(readLines))
+	c.writeAtAbort.Observe(uint64(writeLines))
+	c.Hot.Record(conflictLine, conflictTid)
+	c.Series.RecordAbort(when)
+}
+
+// Op records one completed critical section finishing at virtual time when:
+// whether it committed speculatively, its start-to-finish latency, its
+// retry count (attempts beyond the first), and — for SCM schemes — whether
+// it entered the serializing path and for how many cycles it held the
+// auxiliary lock. Safe on a nil receiver.
+func (c *Collector) Op(when uint64, spec bool, latency uint64, retries int, auxUsed bool, auxDwell uint64) {
+	if c == nil {
+		return
+	}
+	if spec {
+		c.opsSpec.Inc()
+		c.latSpec.Observe(latency)
+	} else {
+		c.opsNonSpec.Inc()
+		c.latNonSpec.Observe(latency)
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	c.retries.Observe(uint64(retries))
+	if auxUsed {
+		c.auxEntries.Inc()
+		c.auxDwell.Observe(auxDwell)
+	}
+	c.Series.RecordOp(when, spec)
+}
+
+// SetGauge sets a run-level gauge (e.g. cycles covered, thread count) with
+// the collector's base labels. Safe on a nil receiver.
+func (c *Collector) SetGauge(name string, v int64) {
+	if c == nil {
+		return
+	}
+	c.Reg.Gauge(name, c.base).Set(v)
+}
+
+// WriteText dumps the registry, the hot-line table (top hotN; 0 keeps the
+// default of 16) and the time series as one human-readable report.
+// annotate, when non-nil, labels known cache lines in the hot-line table.
+func (c *Collector) WriteText(w io.Writer, hotN int, annotate func(line int) string) {
+	if c == nil {
+		return
+	}
+	if hotN <= 0 {
+		hotN = 16
+	}
+	c.Reg.WriteText(w)
+	c.Hot.WriteText(w, hotN, annotate)
+	c.Series.WriteText(w)
+}
+
+// WriteCSV dumps the registry and the time series in CSV form (two tables
+// separated by a blank line).
+func (c *Collector) WriteCSV(w io.Writer) {
+	if c == nil {
+		return
+	}
+	c.Reg.WriteCSV(w)
+	io.WriteString(w, "\n")
+	c.Series.WriteCSV(w)
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.TxCommit(1, 2, 3)
+	c.TxAbort(1, "conflict", 2, 3, 4, 5)
+	c.Op(1, true, 100, 0, false, 0)
+	c.SetGauge("run_cycles", 1)
+	if c.BaseLabels() != nil {
+		t.Fatal("nil collector labels")
+	}
+	var sb strings.Builder
+	c.WriteText(&sb, 5, nil)
+	c.WriteCSV(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("nil collector wrote output: %q", sb.String())
+	}
+}
+
+func TestCollectorFeedsAllSinks(t *testing.T) {
+	c := NewCollector("hle", "mcs", 1000)
+	c.TxCommit(100, 5, 2)
+	c.TxAbort(200, "conflict", 3, 1, 7, 2)
+	c.TxAbort(300, "capacity", 9, 9, -1, -1)
+	c.Op(400, true, 250, 0, false, 0)
+	c.Op(1500, false, 9000, 3, true, 4000)
+	c.SetGauge("run_cycles", 1500)
+
+	if got := c.Reg.Counter(MetricCommits, c.BaseLabels()).Value(); got != 1 {
+		t.Fatalf("commits = %d", got)
+	}
+	if got := c.Reg.Counter(MetricAborts, c.BaseLabels().With("cause", "conflict")).Value(); got != 1 {
+		t.Fatalf("conflict aborts = %d", got)
+	}
+	if got := c.Hot.TopN(1); len(got) != 1 || got[0].Line != 7 {
+		t.Fatalf("hot lines = %+v", got)
+	}
+	w := c.Series.Windows()
+	if len(w) != 2 || w[0].Ops != 1 || w[0].Commits != 1 || w[0].Aborts != 2 || w[1].Ops != 1 {
+		t.Fatalf("series windows = %+v", w)
+	}
+	if got := c.Reg.Histogram(MetricAuxDwell, c.BaseLabels()).Count(); got != 1 {
+		t.Fatalf("aux dwell samples = %d", got)
+	}
+	if got := c.Reg.Histogram(MetricLatency, c.BaseLabels().With("path", "nonspec")).Max(); got != 9000 {
+		t.Fatalf("nonspec latency max = %d", got)
+	}
+
+	var txt strings.Builder
+	c.WriteText(&txt, 8, nil)
+	for _, want := range []string{
+		"htm_aborts_total{scheme=hle,lock=mcs,cause=conflict}",
+		"hot lines (1 conflict aborts attributed)",
+		"time series (1000-cycle windows)",
+	} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, txt.String())
+		}
+	}
+	var csv strings.Builder
+	c.WriteCSV(&csv)
+	if !strings.Contains(csv.String(), "window_start,ops") {
+		t.Fatal("CSV dump missing series table")
+	}
+}

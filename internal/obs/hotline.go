@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// HotLines attributes conflict aborts to the cache line the conflict
+// happened on — the profiler §4's analysis calls for: a lemming run should
+// finger the lock word's line, while an SLR run's conflicts should land on
+// data lines only. Feed it the ConflictLine/ConflictTid of every
+// CauseConflict abort status.
+type HotLines struct {
+	mu sync.Mutex
+	// counts is conflict aborts per line.
+	counts map[int]uint64
+	// requestors is the set of procs whose accesses doomed victims on the
+	// line (a bitmask; the sim caps procs at 64).
+	requestors map[int]uint64
+}
+
+// NewHotLines creates an empty profiler.
+func NewHotLines() *HotLines {
+	return &HotLines{
+		counts:     make(map[int]uint64),
+		requestors: make(map[int]uint64),
+	}
+}
+
+// Record attributes one conflict abort to line, doomed by proc tid (pass a
+// negative tid when unknown). Negative lines (unknown location) are
+// dropped. Safe on a nil receiver.
+func (h *HotLines) Record(line, tid int) {
+	if h == nil || line < 0 {
+		return
+	}
+	h.mu.Lock()
+	h.counts[line]++
+	if tid >= 0 && tid < 64 {
+		h.requestors[line] |= 1 << uint(tid)
+	}
+	h.mu.Unlock()
+}
+
+// Total returns the number of recorded conflict aborts.
+func (h *HotLines) Total() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var t uint64
+	for _, n := range h.counts {
+		t += n
+	}
+	return t
+}
+
+// LineCount is one hot-line table entry.
+type LineCount struct {
+	// Line is the cache-line index (mem.LineOf of the conflicting address).
+	Line int
+	// Aborts is how many conflict aborts were attributed to the line.
+	Aborts uint64
+	// Requestors is a bitmask of the procs whose accesses caused them.
+	Requestors uint64
+}
+
+// TopN returns the n hottest lines, by abort count descending (ties broken
+// by line index for determinism). n <= 0 returns every line.
+func (h *HotLines) TopN(n int) []LineCount {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	out := make([]LineCount, 0, len(h.counts))
+	for line, c := range h.counts {
+		out = append(out, LineCount{Line: line, Aborts: c, Requestors: h.requestors[line]})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Aborts != out[j].Aborts {
+			return out[i].Aborts > out[j].Aborts
+		}
+		return out[i].Line < out[j].Line
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// WriteText renders the top-n table. annotate, when non-nil, returns a
+// suffix for a line (e.g. "main lock" for the lock word's line).
+func (h *HotLines) WriteText(w io.Writer, n int, annotate func(line int) string) {
+	top := h.TopN(n)
+	total := h.Total()
+	fmt.Fprintf(w, "hot lines (%d conflict aborts attributed):\n", total)
+	if len(top) == 0 {
+		fmt.Fprintln(w, "  (none)")
+		return
+	}
+	for _, lc := range top {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(lc.Aborts) / float64(total)
+		}
+		note := ""
+		if annotate != nil {
+			if s := annotate(lc.Line); s != "" {
+				note = "  <- " + s
+			}
+		}
+		fmt.Fprintf(w, "  line %-8d %8d aborts (%5.1f%%)  requestors=%0#x%s\n",
+			lc.Line, lc.Aborts, pct, lc.Requestors, note)
+	}
+}

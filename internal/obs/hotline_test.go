@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotLinesTopN(t *testing.T) {
+	h := NewHotLines()
+	for i := 0; i < 10; i++ {
+		h.Record(7, 1)
+	}
+	for i := 0; i < 3; i++ {
+		h.Record(42, 2)
+	}
+	h.Record(99, 0)
+	h.Record(-1, 0) // unknown line: dropped
+	h.Record(5, -1) // unknown requestor: counted, no mask bit
+
+	if h.Total() != 15 {
+		t.Fatalf("total = %d, want 15", h.Total())
+	}
+	top := h.TopN(2)
+	if len(top) != 2 || top[0].Line != 7 || top[0].Aborts != 10 || top[1].Line != 42 {
+		t.Fatalf("top2 = %+v", top)
+	}
+	if top[0].Requestors != 1<<1 {
+		t.Fatalf("requestors = %#x, want bit 1", top[0].Requestors)
+	}
+	if all := h.TopN(0); len(all) != 4 {
+		t.Fatalf("TopN(0) = %d lines, want 4", len(all))
+	}
+}
+
+func TestHotLinesTieBreakDeterministic(t *testing.T) {
+	h := NewHotLines()
+	h.Record(9, 0)
+	h.Record(3, 0)
+	h.Record(6, 0)
+	top := h.TopN(3)
+	if top[0].Line != 3 || top[1].Line != 6 || top[2].Line != 9 {
+		t.Fatalf("tied lines must sort ascending: %+v", top)
+	}
+}
+
+func TestHotLinesNilSafe(t *testing.T) {
+	var h *HotLines
+	h.Record(1, 1)
+	if h.Total() != 0 || h.TopN(5) != nil {
+		t.Fatal("nil HotLines misbehaved")
+	}
+}
+
+func TestHotLinesWriteText(t *testing.T) {
+	h := NewHotLines()
+	h.Record(7, 1)
+	h.Record(7, 3)
+	var sb strings.Builder
+	h.WriteText(&sb, 5, func(line int) string {
+		if line == 7 {
+			return "main lock"
+		}
+		return ""
+	})
+	out := sb.String()
+	if !strings.Contains(out, "line 7") || !strings.Contains(out, "main lock") {
+		t.Fatalf("table missing annotation:\n%s", out)
+	}
+	var empty strings.Builder
+	NewHotLines().WriteText(&empty, 5, nil)
+	if !strings.Contains(empty.String(), "(none)") {
+		t.Fatalf("empty table = %q", empty.String())
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabelsString(t *testing.T) {
+	if got := (Labels{}).String(); got != "" {
+		t.Fatalf("empty labels = %q", got)
+	}
+	ls := L("scheme", "hle", "lock", "mcs")
+	if got := ls.String(); got != "scheme=hle,lock=mcs" {
+		t.Fatalf("labels = %q", got)
+	}
+	ext := ls.With("cause", "conflict")
+	if got := ext.String(); got != "scheme=hle,lock=mcs,cause=conflict" {
+		t.Fatalf("extended labels = %q", got)
+	}
+	// With must not alias the original.
+	if got := ls.String(); got != "scheme=hle,lock=mcs" {
+		t.Fatalf("With mutated receiver: %q", got)
+	}
+}
+
+func TestCounterAndGaugeIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("ops", L("k", "a"))
+	c2 := r.Counter("ops", L("k", "a"))
+	c3 := r.Counter("ops", L("k", "b"))
+	if c1 != c2 {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if c1 == c3 {
+		t.Fatal("different labels must return distinct counters")
+	}
+	c1.Add(3)
+	c2.Inc()
+	if c1.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c1.Value())
+	}
+	g := r.Gauge("cycles", nil)
+	g.Set(100)
+	g.Add(-30)
+	if g.Value() != 70 {
+		t.Fatalf("gauge = %d, want 70", g.Value())
+	}
+}
+
+func TestHistogramLogBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000, 1 << 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1<<20 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if h.Sum() != 0+1+2+3+100+1000+1<<20 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	// p50 of 7 samples lands in the bucket of the 4th smallest (3): [2,4).
+	if q := h.Quantile(0.5); q < 3 || q > 3 {
+		t.Fatalf("p50 = %d, want 3 (upper edge of [2,4))", q)
+	}
+	if q := h.Quantile(1.0); q < 1<<19 {
+		t.Fatalf("p100 = %d, want >= 2^19", q)
+	}
+	if (&Histogram{}).Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if h.Max() != 999 {
+		t.Fatalf("max = %d, want 999", h.Max())
+	}
+}
+
+func TestWriteTextAndCSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("htm_commits_total", L("scheme", "hle")).Add(7)
+	r.Gauge("run_cycles", nil).Set(123)
+	r.Histogram("cs_latency_cycles", L("path", "spec")).Observe(42)
+
+	var txt strings.Builder
+	r.WriteText(&txt)
+	for _, want := range []string{
+		"counter   htm_commits_total{scheme=hle}",
+		"gauge     run_cycles",
+		"histogram cs_latency_cycles{path=spec}",
+		"count=1",
+	} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("text dump missing %q:\n%s", want, txt.String())
+		}
+	}
+
+	var csv strings.Builder
+	r.WriteCSV(&csv)
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "kind,name,labels,value,count,sum,mean,p50,p99,max" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("csv rows = %d, want 4 (header + 3 metrics)", len(lines))
+	}
+}

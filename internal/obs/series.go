@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Window is one time bucket of a Series.
+type Window struct {
+	// Ops counts completed critical sections in the window.
+	Ops uint64
+	// Spec counts the subset of Ops that committed speculatively.
+	Spec uint64
+	// Commits counts transactional commits.
+	Commits uint64
+	// Aborts counts transactional aborts.
+	Aborts uint64
+}
+
+// SpecFraction is Spec/Ops (0 when the window saw no ops).
+func (w Window) SpecFraction() float64 {
+	if w.Ops == 0 {
+		return 0
+	}
+	return float64(w.Spec) / float64(w.Ops)
+}
+
+// AbortRate is Aborts/(Aborts+Commits): the fraction of transactional
+// attempts in the window that failed.
+func (w Window) AbortRate() float64 {
+	if w.Aborts+w.Commits == 0 {
+		return 0
+	}
+	return float64(w.Aborts) / float64(w.Aborts+w.Commits)
+}
+
+// Series accumulates per-window counts over virtual time — the numeric
+// rendering of the lemming cascade: under plain HLE over a fair lock the
+// spec fraction collapses to ~0 within a window or two of the first
+// non-speculative acquisition and never recovers, while SCM's dips are one
+// window wide.
+type Series struct {
+	mu    sync.Mutex
+	width uint64
+	wins  []Window
+}
+
+// NewSeries creates a series with the given window width in cycles
+// (0 selects 100k cycles).
+func NewSeries(width uint64) *Series {
+	if width == 0 {
+		width = 100_000
+	}
+	return &Series{width: width}
+}
+
+// Width returns the window width in cycles.
+func (s *Series) Width() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.width
+}
+
+// win returns the window covering virtual time `when`, growing the series
+// as needed. Caller holds s.mu.
+func (s *Series) win(when uint64) *Window {
+	i := int(when / s.width)
+	for len(s.wins) <= i {
+		s.wins = append(s.wins, Window{})
+	}
+	return &s.wins[i]
+}
+
+// RecordOp counts one completed critical section at virtual time when.
+// Safe on a nil receiver.
+func (s *Series) RecordOp(when uint64, spec bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	w := s.win(when)
+	w.Ops++
+	if spec {
+		w.Spec++
+	}
+	s.mu.Unlock()
+}
+
+// RecordCommit counts one transactional commit at virtual time when.
+func (s *Series) RecordCommit(when uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.win(when).Commits++
+	s.mu.Unlock()
+}
+
+// RecordAbort counts one transactional abort at virtual time when.
+func (s *Series) RecordAbort(when uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.win(when).Aborts++
+	s.mu.Unlock()
+}
+
+// Windows returns a copy of the accumulated windows.
+func (s *Series) Windows() []Window {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Window, len(s.wins))
+	copy(out, s.wins)
+	return out
+}
+
+// WriteText renders the series as an aligned table, one line per window.
+func (s *Series) WriteText(w io.Writer) {
+	if s == nil {
+		return
+	}
+	wins := s.Windows()
+	fmt.Fprintf(w, "time series (%d-cycle windows): start ops spec%% abort-rate\n", s.width)
+	for i, win := range wins {
+		fmt.Fprintf(w, "  %10d %8d %6.1f%% %6.1f%%\n",
+			uint64(i)*s.width, win.Ops, 100*win.SpecFraction(), 100*win.AbortRate())
+	}
+}
+
+// WriteCSV renders the series with a header row.
+func (s *Series) WriteCSV(w io.Writer) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintln(w, "window_start,ops,spec,commits,aborts,spec_fraction,abort_rate")
+	for i, win := range s.Windows() {
+		fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.4f,%.4f\n",
+			uint64(i)*s.width, win.Ops, win.Spec, win.Commits, win.Aborts,
+			win.SpecFraction(), win.AbortRate())
+	}
+}

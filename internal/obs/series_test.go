@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesWindows(t *testing.T) {
+	s := NewSeries(1000)
+	s.RecordOp(10, true)
+	s.RecordOp(999, false)
+	s.RecordOp(1000, true) // exactly on the boundary: second window
+	s.RecordCommit(10)
+	s.RecordAbort(500)
+	s.RecordAbort(2500) // third window
+
+	w := s.Windows()
+	if len(w) != 3 {
+		t.Fatalf("windows = %d, want 3", len(w))
+	}
+	if w[0].Ops != 2 || w[0].Spec != 1 || w[0].Commits != 1 || w[0].Aborts != 1 {
+		t.Fatalf("window 0 = %+v", w[0])
+	}
+	if w[1].Ops != 1 || w[1].Spec != 1 {
+		t.Fatalf("window 1 = %+v", w[1])
+	}
+	if got := w[0].SpecFraction(); got != 0.5 {
+		t.Fatalf("spec fraction = %v", got)
+	}
+	if got := w[0].AbortRate(); got != 0.5 {
+		t.Fatalf("abort rate = %v", got)
+	}
+	if (Window{}).SpecFraction() != 0 || (Window{}).AbortRate() != 0 {
+		t.Fatal("empty window rates must be 0")
+	}
+}
+
+func TestSeriesNilSafe(t *testing.T) {
+	var s *Series
+	s.RecordOp(1, true)
+	s.RecordCommit(1)
+	s.RecordAbort(1)
+	if s.Windows() != nil || s.Width() != 0 {
+		t.Fatal("nil series misbehaved")
+	}
+	var sb strings.Builder
+	s.WriteText(&sb)
+	s.WriteCSV(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("nil series wrote output: %q", sb.String())
+	}
+}
+
+func TestSeriesRenders(t *testing.T) {
+	s := NewSeries(0) // default width
+	if s.Width() != 100_000 {
+		t.Fatalf("default width = %d", s.Width())
+	}
+	s.RecordOp(50, true)
+	s.RecordAbort(150_000)
+	var txt, csv strings.Builder
+	s.WriteText(&txt)
+	s.WriteCSV(&csv)
+	if !strings.Contains(txt.String(), "100000-cycle windows") {
+		t.Fatalf("text header wrong:\n%s", txt.String())
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "window_start,ops,spec,commits,aborts,spec_fraction,abort_rate" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("csv rows = %d, want 3", len(lines))
+	}
+}

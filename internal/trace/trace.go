@@ -29,6 +29,9 @@ const (
 	LockRelease
 )
 
+// numKinds is the number of distinct kinds (for sizing tallies).
+const numKinds = 5
+
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	switch k {
@@ -79,13 +82,15 @@ func (t *Tracer) Emit(when uint64, proc int, kind Kind, arg int64) {
 	t.events = append(t.events, Event{When: when, Proc: proc, Kind: kind, Arg: arg})
 }
 
-// Events returns the recorded events (shared slice; callers must not
-// modify).
+// Events returns a copy of the recorded events, safe to hold or modify
+// after further Emits.
 func (t *Tracer) Events() []Event {
-	if t == nil {
+	if t == nil || len(t.events) == 0 {
 		return nil
 	}
-	return t.events
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
 }
 
 // Len returns the number of recorded events.
@@ -98,10 +103,10 @@ func (t *Tracer) Len() int {
 
 // Timeline renders the window [from, to) as an ASCII swimlane per proc,
 // with cols columns of (to-from)/cols cycles each. Cell glyphs, by
-// priority: 'L' a lock acquire, 'x' an abort, 'c' a commit, 'b' a begin,
-// '.' nothing.
+// priority: 'L' a lock acquire, 'u' a lock release, 'x' an abort, 'c' a
+// commit, 'b' a begin, '.' nothing.
 func (t *Tracer) Timeline(w io.Writer, procs int, from, to uint64, cols int) {
-	if cols <= 0 || to <= from {
+	if t == nil || cols <= 0 || to <= from {
 		return
 	}
 	width := (to - from + uint64(cols) - 1) / uint64(cols)
@@ -115,6 +120,8 @@ func (t *Tracer) Timeline(w io.Writer, procs int, from, to uint64, cols int) {
 	prio := func(g byte) int {
 		switch g {
 		case 'L':
+			return 5
+		case 'u':
 			return 4
 		case 'x':
 			return 3
@@ -126,8 +133,8 @@ func (t *Tracer) Timeline(w io.Writer, procs int, from, to uint64, cols int) {
 			return 0
 		}
 	}
-	for _, e := range t.Events() {
-		if e.When < from || e.When >= to || e.Proc >= procs {
+	for _, e := range t.events {
+		if e.When < from || e.When >= to || e.Proc < 0 || e.Proc >= procs {
 			continue
 		}
 		col := int((e.When - from) / width)
@@ -142,8 +149,10 @@ func (t *Tracer) Timeline(w io.Writer, procs int, from, to uint64, cols int) {
 			g = 'c'
 		case TxAbort:
 			g = 'x'
-		case LockAcquire, LockRelease:
+		case LockAcquire:
 			g = 'L'
+		case LockRelease:
+			g = 'u'
 		default:
 			continue
 		}
@@ -151,7 +160,7 @@ func (t *Tracer) Timeline(w io.Writer, procs int, from, to uint64, cols int) {
 			grid[e.Proc][col] = g
 		}
 	}
-	fmt.Fprintf(w, "timeline %d..%d cycles (%d cycles/col; b=begin c=commit x=abort L=lock)\n", from, to, width)
+	fmt.Fprintf(w, "timeline %d..%d cycles (%d cycles/col; b=begin c=commit x=abort L=lock u=unlock)\n", from, to, width)
 	for i, lane := range grid {
 		fmt.Fprintf(w, "  p%-2d %s\n", i, lane)
 	}
@@ -159,8 +168,11 @@ func (t *Tracer) Timeline(w io.Writer, procs int, from, to uint64, cols int) {
 
 // Counts tallies events by kind.
 func (t *Tracer) Counts() map[Kind]int {
-	out := make(map[Kind]int, 5)
-	for _, e := range t.Events() {
+	out := make(map[Kind]int, numKinds)
+	if t == nil {
+		return out
+	}
+	for _, e := range t.events {
 		out[e.Kind]++
 	}
 	return out

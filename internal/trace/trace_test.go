@@ -68,6 +68,90 @@ func TestTimelineEmptyWindow(t *testing.T) {
 	}
 }
 
+func TestEventsReturnsCopy(t *testing.T) {
+	tr := New(0)
+	tr.Emit(1, 0, TxBegin, 0)
+	evs := tr.Events()
+	evs[0].Kind = TxAbort
+	if c := tr.Counts(); c[TxBegin] != 1 || c[TxAbort] != 0 {
+		t.Fatalf("mutating Events() leaked into the tracer: %v", c)
+	}
+	tr.Emit(2, 0, TxCommit, 0)
+	if len(evs) != 1 {
+		t.Fatal("earlier snapshot grew with later emits")
+	}
+}
+
+func TestTimelineUnlockGlyph(t *testing.T) {
+	tr := New(0)
+	tr.Emit(10, 0, LockRelease, 0)
+	var sb strings.Builder
+	tr.Timeline(&sb, 1, 0, 100, 10)
+	if out := sb.String(); !strings.Contains(out, "u") || !strings.Contains(out, "u=unlock") {
+		t.Fatalf("release not rendered as 'u':\n%s", out)
+	}
+	// Priority: release outranks abort/commit/begin in a shared cell but
+	// yields to an acquire.
+	tr2 := New(0)
+	tr2.Emit(10, 0, TxAbort, 0)
+	tr2.Emit(11, 0, LockRelease, 0)
+	tr2.Emit(50, 0, LockRelease, 0)
+	tr2.Emit(51, 0, LockAcquire, 0)
+	sb.Reset()
+	tr2.Timeline(&sb, 1, 0, 100, 10)
+	lane := sb.String()[strings.Index(sb.String(), "p0"):]
+	if !strings.Contains(lane, "u") || !strings.Contains(lane, "L") || strings.Contains(lane, "x") {
+		t.Fatalf("priority wrong: %s", lane)
+	}
+}
+
+func TestTimelineWindowEdges(t *testing.T) {
+	tr := New(0)
+	tr.Emit(100, 0, TxAbort, 0) // exactly at `to`: excluded (window is [from, to))
+	tr.Emit(99, 0, TxCommit, 0) // last cycle inside: included
+	tr.Emit(50, 3, TxAbort, 0)  // Proc beyond the lane count: skipped
+	tr.Emit(50, -1, TxAbort, 0) // negative Proc: skipped
+	var sb strings.Builder
+	tr.Timeline(&sb, 1, 0, 100, 10)
+	out := sb.String()
+	lane := out[strings.Index(out, "p0"):]
+	if strings.Contains(lane, "x") {
+		t.Fatalf("out-of-window or out-of-lane event rendered:\n%s", out)
+	}
+	if !strings.Contains(lane, "c") {
+		t.Fatalf("in-window event missing:\n%s", out)
+	}
+}
+
+func TestTimelineMoreColsThanCycles(t *testing.T) {
+	// Span 4 cycles over 10 columns: width clamps to 1 and events land in
+	// their own columns without panicking.
+	tr := New(0)
+	tr.Emit(0, 0, TxBegin, 0)
+	tr.Emit(3, 0, TxCommit, 0)
+	var sb strings.Builder
+	tr.Timeline(&sb, 1, 0, 4, 10)
+	out := sb.String()
+	if !strings.Contains(out, "1 cycles/col") {
+		t.Fatalf("width not clamped to 1:\n%s", out)
+	}
+	if !strings.Contains(out, "b..c") {
+		t.Fatalf("events misplaced:\n%s", out)
+	}
+}
+
+func TestNilTracerTimelineAndCounts(t *testing.T) {
+	var tr *Tracer
+	var sb strings.Builder
+	tr.Timeline(&sb, 2, 0, 100, 10)
+	if sb.Len() != 0 {
+		t.Fatalf("nil tracer rendered: %q", sb.String())
+	}
+	if c := tr.Counts(); len(c) != 0 {
+		t.Fatalf("nil tracer counted: %v", c)
+	}
+}
+
 func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		TxBegin: "begin", TxCommit: "commit", TxAbort: "abort",
