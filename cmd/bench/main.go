@@ -1,0 +1,254 @@
+// Command bench measures the host-side performance of the simulator on a
+// fixed set of seeded workloads and writes the numbers as JSON, so the
+// simulator's speed is a tracked artifact (the BENCH_simulator.json
+// trajectory) rather than folklore.
+//
+//	go run ./cmd/bench                              # JSON to stdout
+//	go run ./cmd/bench -out BENCH_simulator.json
+//	go run ./cmd/bench -compare old.json -out new.json   # embed baseline + ratios
+//	go run ./cmd/bench -reproduce                   # also time the quick figure suite
+//
+// Every workload is a deterministic function of its seed: the JSON records
+// the simulated cycles and transactions per run alongside the host-time
+// metrics, so a perf change that accidentally perturbs simulated results is
+// visible as a changed sim_cycles_per_op (and is independently caught by the
+// golden seed-digest tests in internal/harness).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"elision/internal/harness"
+	"elision/internal/sim"
+	"elision/internal/stamp"
+)
+
+// Workload is one benchmark point: a closure run repeatedly under the
+// measurement loop, reporting the simulated work done per run.
+type Workload struct {
+	Name string
+	// Run executes the workload once and returns (simulated cycles covered,
+	// simulated transaction attempts) for the run.
+	Run func() (cycles, txns uint64)
+}
+
+// Measurement is the JSON record for one workload.
+type Measurement struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// SimCyclesPerOp and SimTxnsPerOp are properties of the simulated run,
+	// not the host: they must be bit-identical across perf-only changes.
+	SimCyclesPerOp uint64  `json:"sim_cycles_per_op"`
+	SimTxnsPerOp   uint64  `json:"sim_txns_per_op"`
+	NsPerSimCycle  float64 `json:"ns_per_sim_cycle"`
+	NsPerTxn       float64 `json:"ns_per_txn"`
+	// Baseline fields are filled by -compare: the same workload's previous
+	// numbers and the improvement ratios (>1 means this run is better).
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	SpeedupNs           float64 `json:"speedup_ns,omitempty"`
+	AllocImprovement    float64 `json:"alloc_improvement,omitempty"`
+}
+
+// Report is the top-level BENCH_simulator.json document.
+type Report struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	Iterations int           `json:"iterations"`
+	Workloads  []Measurement `json:"workloads"`
+	// ReproduceQuickWallMs is the wall time of the in-process quick figure
+	// suite (the same work as `reproduce -quick`, minus file output);
+	// present only when -reproduce is given.
+	ReproduceQuickWallMs float64 `json:"reproduce_quick_wall_ms,omitempty"`
+}
+
+// dsWorkload adapts a harness data-structure point.
+func dsWorkload(name string, cfg harness.DSConfig) Workload {
+	return Workload{Name: name, Run: func() (uint64, uint64) {
+		r := harness.RunDataStructure(cfg)
+		return r.Cycles, r.Stats.Attempts
+	}}
+}
+
+// workloads is the fixed suite. Seeds and scales are pinned; do not change
+// them without resetting the trajectory (old and new JSON would no longer
+// be comparable).
+func workloads() []Workload {
+	base := harness.DSConfig{
+		Threads: 8, Size: 128, Mix: harness.MixModerate,
+		BudgetCycles: 400_000, Seed: 42, Quantum: 128,
+	}
+	tree := func(scheme harness.SchemeID, lock harness.LockID) harness.DSConfig {
+		c := base
+		c.Structure, c.Scheme, c.Lock = harness.StructTree, scheme, lock
+		return c
+	}
+	hash := func(scheme harness.SchemeID, lock harness.LockID) harness.DSConfig {
+		c := base
+		c.Structure, c.Scheme, c.Lock = harness.StructHash, scheme, lock
+		return c
+	}
+	smt := tree(harness.SchemeHLERetries, harness.LockMCS)
+	smt.Cores = 4
+
+	return []Workload{
+		// The lemming point: HLE over MCS, heavy abort + fallback traffic.
+		dsWorkload("rbtree-hle-mcs-8t", tree(harness.SchemeHLE, harness.LockMCS)),
+		// The paper's fix: mostly-speculative execution, long read sets.
+		dsWorkload("rbtree-optslr-mcs-8t", tree(harness.SchemeOptSLR, harness.LockMCS)),
+		// SCM's auxiliary-lock path over short hash transactions.
+		dsWorkload("hash-hlescm-ttas-8t", hash(harness.SchemeHLESCM, harness.LockTTAS)),
+		// SMT model: sibling checks on every Advance.
+		dsWorkload("rbtree-hleretries-mcs-8t-smt4", smt),
+		// One STAMP kernel: short transactions at high contention.
+		{Name: "stamp-kmeans-high-8t", Run: func() (uint64, uint64) {
+			r, err := stamp.Run(stamp.Config{
+				App: "kmeans-high", Scheme: "hle-scm", Lock: "ttas",
+				Threads: 8, Factor: 1, Seed: 42, Quantum: 128,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return r.Cycles, r.Stats.Attempts
+		}},
+		// Raw scheduler: Advance/yield with no memory model on top.
+		{Name: "sched-advance-8t", Run: func() (uint64, uint64) {
+			m := sim.MustNew(sim.Config{Procs: 8, Seed: 1, Quantum: 128})
+			for i := 0; i < 8; i++ {
+				m.Go(func(p *sim.Proc) {
+					for k := 0; k < 50_000; k++ {
+						p.Advance(10)
+					}
+				})
+			}
+			if err := m.Run(); err != nil {
+				panic(err)
+			}
+			var max uint64
+			for i := 0; i < 8; i++ {
+				if c := m.Proc(i).Clock(); c > max {
+					max = c
+				}
+			}
+			return max, 0
+		}},
+	}
+}
+
+// measure runs w iters times (after one warmup) and reports host-time and
+// allocation costs per run.
+func measure(w Workload, iters int) Measurement {
+	cycles, txns := w.Run() // warmup; also pins the simulated-work fingerprint
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		w.Run()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	m := Measurement{
+		Name:           w.Name,
+		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp:    float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:     float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		SimCyclesPerOp: cycles,
+		SimTxnsPerOp:   txns,
+	}
+	if cycles > 0 {
+		m.NsPerSimCycle = m.NsPerOp / float64(cycles)
+	}
+	if txns > 0 {
+		m.NsPerTxn = m.NsPerOp / float64(txns)
+	}
+	return m
+}
+
+// reproduceQuick runs the quick figure suite in-process and returns its
+// wall time — the headline "how long does a full -quick reproduction take"
+// number, without file I/O noise.
+func reproduceQuick() time.Duration {
+	sc := harness.TestScale()
+	r := harness.NewRunner()
+	start := time.Now()
+	harness.Figure2(r, sc)
+	harness.Figure3(r, sc)
+	harness.Figure4(r, sc)
+	harness.Figure9(r, sc)
+	harness.Figure10(r, sc)
+	harness.HashTableComparison(r, sc)
+	if _, err := harness.Figure11(harness.TestStampScale(), runtime.GOMAXPROCS(0), nil); err != nil {
+		panic(err)
+	}
+	return time.Since(start)
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	compare := flag.String("compare", "", "baseline BENCH_simulator.json to embed and compute ratios against")
+	iters := flag.Int("iters", 5, "measured iterations per workload (after one warmup)")
+	repro := flag.Bool("reproduce", false, "also time the in-process quick figure suite")
+	flag.Parse()
+
+	var baseline map[string]Measurement
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var prev Report
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		baseline = make(map[string]Measurement, len(prev.Workloads))
+		for _, m := range prev.Workloads {
+			baseline[m.Name] = m
+		}
+	}
+
+	rep := Report{Schema: "elision-bench/v1", GoVersion: runtime.Version(), Iterations: *iters}
+	for _, w := range workloads() {
+		fmt.Fprintf(os.Stderr, "bench: %s...", w.Name)
+		m := measure(w, *iters)
+		if b, ok := baseline[w.Name]; ok && m.NsPerOp > 0 && m.AllocsPerOp > 0 {
+			m.BaselineNsPerOp = b.NsPerOp
+			m.BaselineAllocsPerOp = b.AllocsPerOp
+			m.SpeedupNs = b.NsPerOp / m.NsPerOp
+			m.AllocImprovement = b.AllocsPerOp / m.AllocsPerOp
+		}
+		rep.Workloads = append(rep.Workloads, m)
+		fmt.Fprintf(os.Stderr, " %.1fms/op, %.0f allocs/op\n", m.NsPerOp/1e6, m.AllocsPerOp)
+	}
+	if *repro {
+		d := reproduceQuick()
+		rep.ReproduceQuickWallMs = float64(d.Nanoseconds()) / 1e6
+		fmt.Fprintf(os.Stderr, "bench: reproduce-quick wall %.0fms\n", rep.ReproduceQuickWallMs)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,12 @@
 // is a total order (ties cannot happen between two critical sections that
 // touch the same data: one's commit conflicts with the other), so the check
 // is exact, not heuristic.
+//
+// Invariants: a History is recorded from simulated bodies under the
+// machine's single-runner invariant (at most one proc executes at a time),
+// so Record needs no locking; Verify runs on the host after Run returns and
+// is a pure, deterministic function of the recorded events — checking a
+// history never perturbs simulated results.
 package check
 
 import (

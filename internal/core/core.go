@@ -20,6 +20,13 @@
 // htm.Ctx whose loads and stores are transactional on the speculative path
 // and plain accesses on the fallback path, so data-structure code is written
 // once.
+//
+// Invariants: Critical must be called from the goroutine running p (the
+// single-runner invariant), and a scheme's retry/fallback decisions draw
+// randomness only from p's deterministic RNG — an execution is a
+// bit-for-bit deterministic function of (machine config, scheme, lock,
+// body behaviour). Aborted speculative attempts re-run the body, so Go-side
+// side effects must be overwrite-idempotent.
 package core
 
 import (

@@ -1,0 +1,80 @@
+package harness
+
+// Golden seed-digest tests. Each figure regenerator is run at TestScale and
+// its rendered CSV output hashed; the hex digests below pin the exact
+// simulated results. Any change to simulator internals that perturbs a run
+// by even one bit — a reordered conflict, a different abort cause, one
+// extra cycle — changes a digest and fails here. Performance work on the
+// scheduler, the HTM set representation, or the memory model must keep
+// these digests bit-identical; only deliberate model changes may re-pin
+// them (regenerate with -run TestGoldenFigureDigests -v and copy the
+// printed digests).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// digestTables hashes the CSV rendering of a table set. CSV is the
+// canonical form: it contains every cell the text rendering does, without
+// alignment padding.
+func digestTables(tabs []Table) string {
+	var sb strings.Builder
+	for i := range tabs {
+		tabs[i].RenderCSV(&sb)
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// goldenFigureDigests pins every figure's TestScale results.
+var goldenFigureDigests = map[string]string{
+	"figure2":   "7c5a7cc000de1429955a3d663d8d95046233476b84fbfe231fa3b6cb431eb571",
+	"figure3":   "1af9d05c6f40f9f028a26ce89365efc437f9e0f8a03bac704758fff44c29ddb2",
+	"figure4":   "ad78937362013dc8931cefd2992f293b49a768dda3577c657f0b16aede80d632",
+	"figure9":   "f74e23a812b68c26140bae1e3bb8c0a97354f818043e0b396adb66577dfa7049",
+	"figure10":  "2a1ef0c70c0b290c928bf88f94e642350537a61f006c0a515e8b6b81edb888ba",
+	"figure11":  "86750485274679f0a5ddc4aa07eb9a96a211741de29744a19863a909aac02e01",
+	"hashtable": "3d3ebf53041209825365387d7e747a85c9dbf27b5af1cd80c33f551bef5765e8",
+}
+
+func TestGoldenFigureDigests(t *testing.T) {
+	sc := TestScale()
+	r := NewRunner()
+	figs := []struct {
+		name string
+		run  func(t *testing.T) []Table
+	}{
+		{"figure2", func(t *testing.T) []Table { return Figure2(r, sc) }},
+		{"figure3", func(t *testing.T) []Table { return Figure3(r, sc) }},
+		{"figure4", func(t *testing.T) []Table { return Figure4(r, sc) }},
+		{"figure9", func(t *testing.T) []Table { return Figure9(r, sc) }},
+		{"figure10", func(t *testing.T) []Table { return Figure10(r, sc) }},
+		{"figure11", func(t *testing.T) []Table {
+			tabs, err := Figure11(TestStampScale(), 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tabs
+		}},
+		{"hashtable", func(t *testing.T) []Table { return HashTableComparison(r, sc) }},
+	}
+	for _, f := range figs {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			got := digestTables(f.run(t))
+			t.Logf("digest %s: %s", f.name, got)
+			want, ok := goldenFigureDigests[f.name]
+			if !ok {
+				t.Fatalf("no golden digest entry for %s", f.name)
+			}
+			if got != want {
+				t.Errorf("%s digest = %s, want %s\n"+
+					"(simulated results changed; if the model change is deliberate, re-pin goldenFigureDigests)",
+					f.name, got, want)
+			}
+		})
+	}
+}

@@ -2,6 +2,12 @@
 // memories, locks, schemes and data structures into measured workloads, and
 // regenerates every figure of the evaluation section (Figures 2, 3, 4, 9,
 // 10 via the data-structure benchmarks here; Figure 11 via internal/stamp).
+//
+// Invariants: each benchmark point is one self-contained simulated machine,
+// so a Result is a bit-for-bit deterministic function of its DSConfig; the
+// Runner may compute independent points on parallel host goroutines and
+// memoize them without affecting any result (asserted end to end by the
+// golden seed-digest tests in golden_test.go).
 package harness
 
 import (

@@ -2,6 +2,11 @@
 // the second data-structure benchmark of §7.1. Its transactions are always
 // short (one bucket chain), so it "zooms in" on the short-transaction end of
 // the red-black-tree workload spectrum.
+//
+// Invariants: as with rbtree, operations must run on the currently
+// executing sim.Proc and reach shared state only through the provided
+// Accessor — single-runner discipline makes the code lock-free on the host
+// and deterministic from the machine seed.
 package hashtable
 
 import (

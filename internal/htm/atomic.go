@@ -1,7 +1,6 @@
 package htm
 
 import (
-	"elision/internal/mem"
 	"elision/internal/sim"
 	"elision/internal/trace"
 )
@@ -21,17 +20,8 @@ func (m *Memory) Atomic(p *sim.Proc, body func(tx *Tx)) Status {
 
 	p.Advance(m.cost.TxBegin)
 	m.tracer.Emit(p.Clock(), p.ID(), trace.TxBegin, 0)
-	tx := &Tx{
-		p:          p,
-		m:          m,
-		readLines:  make(map[int]struct{}, 16),
-		writeLines: make(map[int]struct{}, 8),
-		writeBuf:   make(map[mem.Addr]int64, 8),
-		elided:     make(map[mem.Addr]*elideEntry, 1),
-		begin:      p.Clock(),
-		doomLine:   -1,
-		doomTid:    -1,
-	}
+	tx := &m.txs[p.ID()]
+	tx.reset(p, m)
 	m.cur[p.ID()] = tx
 
 	var st Status
@@ -52,16 +42,16 @@ func (m *Memory) Atomic(p *sim.Proc, body func(tx *Tx)) Status {
 			tx.cleanup()
 			p.Advance(m.cost.TxAbort)
 			m.tracer.Emit(p.Clock(), p.ID(), trace.TxAbort, int64(st.Cause))
-			// cleanup leaves the set maps intact, so the collector sees the
-			// sizes reached before the abort — and, for conflicts, the line
-			// the abort was attributed to.
+			// cleanup leaves the dense sets' member lists intact, so the
+			// collector sees the sizes reached before the abort — and, for
+			// conflicts, the line the abort was attributed to.
 			m.col.TxAbort(p.Clock(), st.Cause.String(),
-				len(tx.readLines), len(tx.writeLines), st.ConflictLine, st.ConflictTid)
+				tx.readSet.size(), tx.writeSet.size(), st.ConflictLine, st.ConflictTid)
 		}()
 		body(tx)
 		st = tx.commit()
 		m.tracer.Emit(p.Clock(), p.ID(), trace.TxCommit, 0)
-		m.col.TxCommit(p.Clock(), len(tx.readLines), len(tx.writeLines))
+		m.col.TxCommit(p.Clock(), tx.readSet.size(), tx.writeSet.size())
 	}()
 	m.cur[p.ID()] = nil
 	return st

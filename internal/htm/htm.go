@@ -21,6 +21,13 @@
 // the software analogue of the XBEGIN fallback path. Flat nesting is
 // supported as in TSX: a nested Atomic simply extends the outer transaction
 // and an abort anywhere unwinds to the outermost XBEGIN.
+//
+// Invariants: all Memory and Tx methods must be called from the goroutine
+// running the proc they are passed (sim's single-runner invariant), which
+// is why the conflict metadata, the per-proc pooled transaction state and
+// the MESI-flavoured cost bookkeeping are plain unsynchronized Go data;
+// spurious aborts draw only on the proc's deterministic RNG, so every
+// transaction history is bit-for-bit reproducible from the machine seed.
 package htm
 
 import (
@@ -142,9 +149,13 @@ type Config struct {
 
 // Memory is simulated transactional shared memory for one machine.
 type Memory struct {
-	store    *mem.Store
-	meta     []lineMeta
-	cur      []*Tx // current transaction per proc id, nil when not in one
+	store *mem.Store
+	meta  []lineMeta
+	cur   []*Tx // current transaction per proc id, nil when not in one
+	// txs is the per-proc transaction pool: flat nesting means a proc runs
+	// at most one transaction at a time, so its Tx (dense sets, write
+	// buffer, elision list) is recycled across transactions and retries.
+	txs      []Tx
 	cost     sim.CostModel
 	maxRead  int
 	maxWrite int
@@ -189,6 +200,7 @@ func NewMemory(m *sim.Machine, cfg Config) *Memory {
 		store:    store,
 		meta:     meta,
 		cur:      make([]*Tx, m.Procs()),
+		txs:      make([]Tx, m.Procs()),
 		cost:     cost,
 		maxRead:  maxRead,
 		maxWrite: maxWrite,

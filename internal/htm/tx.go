@@ -7,17 +7,64 @@ import (
 	"elision/internal/sim"
 )
 
+// lineSet is an epoch-stamped dense set of cache-line ids: membership is
+// one array compare (stamp[l] == epoch), insertion one store plus an append
+// to the member list, and clearing bumps the epoch instead of touching any
+// line. Sized by Store.Lines() once and reused for every transaction a proc
+// runs, it replaces the per-transaction map allocations that dominated the
+// simulator's profile.
+type lineSet struct {
+	stamp []uint32
+	epoch uint32
+	lines []int // members, in insertion order (deterministic iteration)
+}
+
+// grow sizes the stamp array for a memory of n lines (no-op once grown).
+func (s *lineSet) grow(n int) {
+	if len(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.epoch = 0
+	}
+}
+
+// clear empties the set by bumping the epoch. On the (once per 2^32
+// transactions) wraparound the stamps are scrubbed so ancient entries
+// cannot alias the fresh epoch.
+func (s *lineSet) clear() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.lines = s.lines[:0]
+}
+
+func (s *lineSet) has(l int) bool { return s.stamp[l] == s.epoch }
+
+func (s *lineSet) add(l int) {
+	s.stamp[l] = s.epoch
+	s.lines = append(s.lines, l)
+}
+
+func (s *lineSet) size() int { return len(s.lines) }
+
 // Tx is one hardware transaction in flight. A Tx is only valid inside the
-// body passed to Memory.Atomic, on the proc that started it.
+// body passed to Memory.Atomic, on the proc that started it. Tx state is
+// pooled per proc (Memory.txs) and recycled across transactions and
+// retries: the dense sets clear by epoch, the write buffer and elision list
+// keep their backing storage, so a steady-state transaction allocates
+// nothing.
 type Tx struct {
 	p *sim.Proc
 	m *Memory
 
-	readLines  map[int]struct{}
-	writeLines map[int]struct{}
-	writeBuf   map[mem.Addr]int64
-	writeOrder []mem.Addr // publication order (maps iterate randomly)
-	elided     map[mem.Addr]*elideEntry
+	readSet    lineSet
+	writeSet   lineSet
+	writeBuf   map[mem.Addr]int64 // pooled; entries removed at cleanup
+	writeOrder []mem.Addr         // publication order (maps iterate randomly)
+	elided     []elideEntry       // tiny (usually one lock word); linear scan
 
 	begin  uint64 // clock at XBEGIN, for the transaction timer
 	doomed bool
@@ -33,8 +80,39 @@ type Tx struct {
 // (which XRELEASE must restore) and the current illusion value visible only
 // to this transaction.
 type elideEntry struct {
+	addr mem.Addr
 	orig int64
 	cur  int64
+}
+
+// elideAt returns the elision entry for a, or nil. The returned pointer is
+// invalidated by the next append to tx.elided.
+func (tx *Tx) elideAt(a mem.Addr) *elideEntry {
+	for i := range tx.elided {
+		if tx.elided[i].addr == a {
+			return &tx.elided[i]
+		}
+	}
+	return nil
+}
+
+// reset prepares the pooled Tx for a fresh transaction on proc p.
+func (tx *Tx) reset(p *sim.Proc, m *Memory) {
+	tx.p, tx.m = p, m
+	n := m.store.Lines()
+	tx.readSet.grow(n)
+	tx.writeSet.grow(n)
+	tx.readSet.clear()
+	tx.writeSet.clear()
+	if tx.writeBuf == nil {
+		tx.writeBuf = make(map[mem.Addr]int64, 8)
+	}
+	tx.writeOrder = tx.writeOrder[:0]
+	tx.elided = tx.elided[:0]
+	tx.begin = p.Clock()
+	tx.doomed = false
+	tx.doomLine, tx.doomTid = -1, -1
+	tx.depth = 0
 }
 
 // txAbortPanic unwinds the transaction body back to Atomic.
@@ -108,11 +186,11 @@ func (tx *Tx) addRead(l int) {
 		}
 		tx.m.doom(tx.p, tx.m.cur[lm.writer], l)
 	}
-	if _, ok := tx.readLines[l]; !ok {
-		if len(tx.readLines) >= tx.m.maxRead {
+	if !tx.readSet.has(l) {
+		if tx.readSet.size() >= tx.m.maxRead {
 			tx.abortNow(CauseCapacity, 0)
 		}
-		tx.readLines[l] = struct{}{}
+		tx.readSet.add(l)
 		lm.readers |= 1 << tx.p.ID()
 	}
 }
@@ -147,11 +225,11 @@ func (tx *Tx) addWrite(l int) {
 		mask &^= 1 << tid
 		tx.m.doom(tx.p, tx.m.cur[tid], l)
 	}
-	if _, ok := tx.writeLines[l]; !ok {
-		if len(tx.writeLines) >= tx.m.maxWrite {
+	if !tx.writeSet.has(l) {
+		if tx.writeSet.size() >= tx.m.maxWrite {
 			tx.abortNow(CauseCapacity, 0)
 		}
-		tx.writeLines[l] = struct{}{}
+		tx.writeSet.add(l)
 		lm.writer = int16(tx.p.ID())
 	}
 }
@@ -160,11 +238,15 @@ func (tx *Tx) addWrite(l int) {
 func (tx *Tx) Load(a mem.Addr) int64 {
 	tx.m.chargeRead(tx.p, mem.LineOf(a))
 	tx.step()
-	if v, ok := tx.writeBuf[a]; ok {
-		return v
+	if len(tx.writeBuf) != 0 {
+		if v, ok := tx.writeBuf[a]; ok {
+			return v
+		}
 	}
-	if e, ok := tx.elided[a]; ok {
-		return e.cur
+	if len(tx.elided) != 0 {
+		if e := tx.elideAt(a); e != nil {
+			return e.cur
+		}
 	}
 	tx.addRead(mem.LineOf(a))
 	return tx.m.store.Load(a)
@@ -174,7 +256,7 @@ func (tx *Tx) Load(a mem.Addr) int64 {
 func (tx *Tx) Store(a mem.Addr, v int64) {
 	tx.m.chargeWrite(tx.p, mem.LineOf(a))
 	tx.step()
-	if _, ok := tx.elided[a]; ok {
+	if len(tx.elided) != 0 && tx.elideAt(a) != nil {
 		// Writing an elided lock word with a plain store inside the
 		// transaction breaks the elision illusion; TSX aborts.
 		tx.abortNow(CauseHLEMismatch, 0)
@@ -254,15 +336,22 @@ func (tx *Tx) Wait(a mem.Addr) {
 func (tx *Tx) ElideRMW(a mem.Addr, f func(old int64) int64) int64 {
 	tx.m.chargeRead(tx.p, mem.LineOf(a))
 	tx.step()
-	e, ok := tx.elided[a]
-	if !ok {
+	idx := -1
+	for i := range tx.elided {
+		if tx.elided[i].addr == a {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
 		tx.addRead(mem.LineOf(a))
 		v := tx.m.store.Load(a)
-		e = &elideEntry{orig: v, cur: v}
-		tx.elided[a] = e
+		tx.elided = append(tx.elided, elideEntry{addr: a, orig: v, cur: v})
+		idx = len(tx.elided) - 1
 	}
-	old := e.cur
-	e.cur = f(old)
+	old := tx.elided[idx].cur
+	// Index, not pointer: f may re-enter the transaction and grow tx.elided.
+	tx.elided[idx].cur = f(old)
 	return old
 }
 
@@ -276,8 +365,8 @@ func (tx *Tx) ElideStore(a mem.Addr, v int64) {
 func (tx *Tx) ReleaseStore(a mem.Addr, v int64) {
 	tx.p.Advance(tx.m.cost.MemHit)
 	tx.step()
-	e, ok := tx.elided[a]
-	if !ok {
+	e := tx.elideAt(a)
+	if e == nil {
 		// XRELEASE without a matching XACQUIRE elision is just a store.
 		tx.Store(a, v)
 		return
@@ -295,8 +384,8 @@ func (tx *Tx) ReleaseStore(a mem.Addr, v int64) {
 func (tx *Tx) ReleaseCAS(a mem.Addr, old, new int64) bool {
 	tx.p.Advance(tx.m.cost.MemHit)
 	tx.step()
-	e, ok := tx.elided[a]
-	if !ok {
+	e := tx.elideAt(a)
+	if e == nil {
 		_, swapped := tx.CAS(a, old, new)
 		return swapped
 	}
@@ -321,8 +410,8 @@ func (tx *Tx) commit() Status {
 	}
 	// HLE restore rule: every elided location must hold its original value
 	// at commit (the XRELEASE already happened or nothing changed).
-	for _, e := range tx.elided {
-		if e.cur != e.orig {
+	for i := range tx.elided {
+		if tx.elided[i].cur != tx.elided[i].orig {
 			tx.abortNow(CauseHLEMismatch, 0)
 		}
 	}
@@ -337,15 +426,20 @@ func (tx *Tx) commit() Status {
 }
 
 // cleanup removes this transaction's lines from the conflict-tracking
-// metadata. Safe to call after either commit or abort.
+// metadata and drains the pooled write buffer. Safe to call after either
+// commit or abort; the dense sets themselves are cleared by the next reset
+// (their sizes stay readable for the abort-path collector).
 func (tx *Tx) cleanup() {
 	me := uint64(1) << tx.p.ID()
-	for l := range tx.readLines {
+	for _, l := range tx.readSet.lines {
 		tx.m.meta[l].readers &^= me
 	}
-	for l := range tx.writeLines {
+	for _, l := range tx.writeSet.lines {
 		if int(tx.m.meta[l].writer) == tx.p.ID() {
 			tx.m.meta[l].writer = -1
 		}
+	}
+	for _, a := range tx.writeOrder {
+		delete(tx.writeBuf, a)
 	}
 }

@@ -4,6 +4,12 @@
 // queue nodes live in simulated memory, so lock operations participate in
 // the HTM's conflict detection exactly as they do on real hardware — which
 // is what produces (and lets the paper's schemes fix) the lemming effect.
+//
+// Invariants: every method takes the acquiring *sim.Proc and must be called
+// from the goroutine currently running that proc (the single-runner
+// invariant — lock state needs no host synchronization); blocking is in
+// virtual time via the machine's waiter lists, so acquisition order is a
+// deterministic function of the simulated schedule.
 package locks
 
 import (

@@ -31,7 +31,11 @@ const lineShift = 3 // log2(LineWords)
 type Store struct {
 	words   []int64
 	waiters [][]*sim.Proc // line id -> blocked procs
-	brk     Addr          // bump-allocation frontier
+	// nWaiters counts registered waiters across all lines, so the wakeup
+	// path on every visible store is a single zero test in the common case
+	// of nobody parked (speculative phases park no one).
+	nWaiters int
+	brk      Addr // bump-allocation frontier
 }
 
 // NewStore creates a memory of the given size in words, rounded up to a
@@ -108,6 +112,7 @@ func (s *Store) AllocLines(n int) Addr {
 func (s *Store) AddWaiter(a Addr, p *sim.Proc) {
 	l := LineOf(a)
 	s.waiters[l] = append(s.waiters[l], p)
+	s.nWaiters++
 }
 
 // RemoveWaiter deregisters p from the line containing a (used after a
@@ -119,6 +124,7 @@ func (s *Store) RemoveWaiter(a Addr, p *sim.Proc) {
 		if q == p {
 			ws[i] = ws[len(ws)-1]
 			s.waiters[l] = ws[:len(ws)-1]
+			s.nWaiters--
 			return
 		}
 	}
@@ -127,6 +133,9 @@ func (s *Store) RemoveWaiter(a Addr, p *sim.Proc) {
 // WakeWaiters wakes every proc blocked on the line containing a, as cause,
 // with the given coherency latency. Called by htm on every visible store.
 func (s *Store) WakeWaiters(a Addr, by *sim.Proc, cause sim.WakeCause, latency uint64) {
+	if s.nWaiters == 0 {
+		return
+	}
 	l := LineOf(a)
 	ws := s.waiters[l]
 	if len(ws) == 0 {
@@ -135,5 +144,6 @@ func (s *Store) WakeWaiters(a Addr, by *sim.Proc, cause sim.WakeCause, latency u
 	for _, q := range ws {
 		by.Wake(q, cause, latency)
 	}
+	s.nWaiters -= len(ws)
 	s.waiters[l] = ws[:0]
 }

@@ -166,3 +166,49 @@ func TestWakeWaitersClearsList(t *testing.T) {
 		t.Fatalf("woke %d waiters, want 2", wokenCount)
 	}
 }
+
+// TestWaiterCountTracksRegistrations exercises the global waiter counter
+// behind WakeWaiters' zero-test fast path: adds, removals (including of
+// absent procs) and wakes must keep it consistent, or stores would silently
+// stop waking parked procs.
+func TestWaiterCountTracksRegistrations(t *testing.T) {
+	m := sim.MustNew(sim.Config{Procs: 3, Seed: 1})
+	s := NewStore(1024)
+	a := s.AllocLines(1)
+	b := s.AllocLines(1)
+
+	woken := 0
+	m.Go(func(p *sim.Proc) { // waiter on a
+		s.AddWaiter(a, p)
+		p.Block(sim.NoDeadline)
+		woken++
+	})
+	m.Go(func(p *sim.Proc) { // waiter on b, deregisters itself after timeout
+		s.AddWaiter(b, p)
+		p.Block(p.Clock() + 50)
+		s.RemoveWaiter(b, p)
+		s.RemoveWaiter(b, p) // absent removal must not corrupt the count
+		if s.nWaiters != 1 {
+			t.Errorf("after timeout removal: nWaiters = %d, want 1", s.nWaiters)
+		}
+	})
+	m.Go(func(p *sim.Proc) { // the waker
+		p.Advance(200)
+		if s.nWaiters != 1 {
+			t.Errorf("before wake: nWaiters = %d, want 1", s.nWaiters)
+		}
+		s.StoreWord(a, 7)
+		s.WakeWaiters(a, p, sim.WakeStore, 1)
+		if s.nWaiters != 0 {
+			t.Errorf("after wake: nWaiters = %d, want 0", s.nWaiters)
+		}
+		// Fast path: no waiters anywhere, wake must be a no-op.
+		s.WakeWaiters(b, p, sim.WakeStore, 1)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 1 {
+		t.Fatalf("woken = %d, want 1", woken)
+	}
+}

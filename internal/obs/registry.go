@@ -10,6 +10,11 @@
 // are safe for concurrent use (atomic fields, a mutex only on registration
 // and aggregation paths), so instrumented runs pass the race detector even
 // when multiple simulated machines run on separate host goroutines.
+//
+// Invariants: the instrumentation only reads the simulation — a nil
+// *Collector is a valid no-op sink — so an observed run's simulated
+// results are bit-identical to an unobserved one (asserted by
+// harness.TestObservedRunMatchesUnobserved).
 package obs
 
 import (

@@ -12,6 +12,13 @@
 // real nil pointers instead of a shared sentinel node: a sentinel's parent
 // field would be written by every structural delete, manufacturing false
 // conflicts between speculative operations in disjoint subtrees.
+//
+// Invariants: tree operations must run on the currently executing sim.Proc
+// (the single-runner invariant) and touch shared state only through the
+// provided Accessor, so the same call is transactional or plain depending
+// on the caller's context and every run is deterministic from the machine
+// seed. Aborted transactions re-run operations, so they are written to be
+// overwrite-idempotent on the Go side.
 package rbtree
 
 import (

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// referenceSiblings is the original O(P²) sibling-list construction, kept
+// as the oracle for the grouped one-pass version in New.
+func referenceSiblings(procs []*Proc, cores int) [][]int {
+	out := make([][]int, len(procs))
+	for _, p := range procs {
+		for _, q := range procs {
+			if q != p && q.id%cores == p.id%cores {
+				out[p.id] = append(out[p.id], q.id)
+			}
+		}
+	}
+	return out
+}
+
+func TestSiblingGroupsMatchQuadraticReference(t *testing.T) {
+	cases := []struct{ procs, cores int }{
+		{8, 4}, {8, 2}, {8, 3}, {7, 3}, {16, 4}, {2, 1}, {9, 4}, {64, 8},
+	}
+	for _, c := range cases {
+		m := MustNew(Config{Procs: c.procs, Seed: 1, Cores: c.cores})
+		want := referenceSiblings(m.procs, c.cores)
+		for _, p := range m.procs {
+			got := make([]int, 0, len(p.siblings))
+			for _, s := range p.siblings {
+				got = append(got, s.id)
+			}
+			if len(got) != len(want[p.id]) {
+				t.Fatalf("procs=%d cores=%d: proc %d has siblings %v, want %v",
+					c.procs, c.cores, p.id, got, want[p.id])
+			}
+			for i := range got {
+				if got[i] != want[p.id][i] {
+					t.Fatalf("procs=%d cores=%d: proc %d has siblings %v, want %v",
+						c.procs, c.cores, p.id, got, want[p.id])
+				}
+			}
+		}
+	}
+}
+
+// scanOtherMin recomputes what Machine.otherMin caches: the smallest
+// effective time among runnable procs excluding the running one — the same
+// metric pickNext uses (a ready proc counts at its clock, a blocked proc
+// with a deadline at max(clock, deadline)).
+func scanOtherMin(m *Machine, running *Proc) uint64 {
+	best := uint64(math.MaxUint64)
+	for _, q := range m.procs {
+		if q == running {
+			continue
+		}
+		var t uint64
+		switch q.state {
+		case stateReady:
+			t = q.clock
+		case stateBlocked:
+			if q.deadline == NoDeadline {
+				continue
+			}
+			t = q.deadline
+			if q.clock > t {
+				t = q.clock
+			}
+		default:
+			continue
+		}
+		if t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// TestOtherMinMatchesScan drives a workload that exercises every way the
+// runnable set changes under a running proc — Advance-driven yields, Block
+// with deadlines, cross-proc Wakes, retirement — and asserts after every
+// step that the cached otherMin equals a fresh O(P) scan. The yield
+// decision in Advance is a compare against this cache, so its exactness is
+// what keeps schedules (and therefore all simulated results) bit-identical
+// to the scan-per-Advance implementation it replaced.
+func TestOtherMinMatchesScan(t *testing.T) {
+	for _, quantum := range []uint64{0, 16, 512} {
+		m := MustNew(Config{Procs: 4, Seed: 7, Quantum: quantum})
+		check := func(p *Proc) {
+			t.Helper()
+			if scan := scanOtherMin(m, p); m.otherMin != scan {
+				t.Fatalf("quantum=%d: cached otherMin %d != scanned %d at clock %d (proc %d)",
+					quantum, m.otherMin, scan, p.clock, p.id)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			i := i
+			m.Go(func(p *Proc) {
+				for k := 0; k < 300; k++ {
+					p.Advance(uint64(1 + p.RandN(40)))
+					check(p)
+					switch k % 8 {
+					case 3:
+						p.Block(p.clock + 20) // deadline wake
+						check(p)
+					case 5:
+						if i > 0 {
+							p.Wake(m.procs[i-1], WakeStore, 3)
+							check(p)
+						}
+					}
+				}
+			})
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

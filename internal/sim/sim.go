@@ -105,6 +105,14 @@ type Machine struct {
 	// bodyErr records the first panic escaping a Proc body, re-raised by Run
 	// on the host goroutine so test failures point at the right stack.
 	bodyErr any
+	// otherMin caches the smallest effective time among runnable Procs other
+	// than the one currently holding the token (MaxUint64 when none). It is
+	// recomputed by dispatchNext when the token moves and can only decrease
+	// while a Proc runs (the single-runner invariant: only the running Proc
+	// mutates machine state, and the only state change that makes another
+	// Proc runnable earlier is Wake). It lets Advance keep the token with an
+	// O(1) compare instead of an O(P) scan per memory access.
+	otherMin uint64
 }
 
 // Proc is one simulated hardware thread. All methods must be called from the
@@ -154,11 +162,23 @@ func New(cfg Config) (*Machine, error) {
 		if m.htSlowdown == 0 {
 			m.htSlowdown = 60
 		}
+		// Group procs by physical core in one pass (proc i runs on core
+		// i%Cores); each proc's siblings are its core group minus itself,
+		// in increasing id order.
+		groups := make([][]*Proc, cfg.Cores)
 		for _, p := range m.procs {
-			for _, q := range m.procs {
-				if q != p && q.id%cfg.Cores == p.id%cfg.Cores {
-					p.siblings = append(p.siblings, q)
+			c := p.id % cfg.Cores
+			groups[c] = append(groups[c], p)
+		}
+		for _, g := range groups {
+			for i, p := range g {
+				if len(g) < 2 {
+					continue
 				}
+				sibs := make([]*Proc, 0, len(g)-1)
+				sibs = append(sibs, g[:i]...)
+				sibs = append(sibs, g[i+1:]...)
+				p.siblings = sibs
 			}
 		}
 	}
@@ -279,7 +299,7 @@ func (m *Machine) dispatchNext() {
 		// Live procs exist but none are parked: impossible under the
 		// single-runner invariant; fall through to deadlock for safety.
 	}
-	next, cause := m.pickNext()
+	next, cause, otherMin := m.pickNext()
 	if next == nil {
 		m.failed = ErrDeadlock
 		m.killed = true
@@ -296,31 +316,21 @@ func (m *Machine) dispatchNext() {
 		next.clock = next.wakeFloor
 	}
 	next.wakeFloor = 0
+	m.otherMin = otherMin
 	next.state = stateRunning
 	next.wake <- cause
 }
 
-// pickNextTime is pickNext plus the winner's effective time (for quantum
-// checks in maybeYield).
-func (m *Machine) pickNextTime() (*Proc, uint64) {
-	best, _ := m.pickNext()
-	if best == nil {
-		return nil, math.MaxUint64
-	}
-	t := best.clock
-	if best.state == stateBlocked && best.deadline != NoDeadline && best.deadline > t {
-		t = best.deadline
-	}
-	return best, t
-}
-
 // pickNext chooses the runnable Proc with the smallest effective time,
-// breaking ties by Proc id (for determinism). Returns nil if nothing can
-// ever run again.
-func (m *Machine) pickNext() (*Proc, WakeCause) {
+// breaking ties by Proc id (for determinism). It also reports the smallest
+// effective time among the remaining runnable Procs (MaxUint64 when none),
+// which dispatchNext caches as otherMin for the winner's token-keeping fast
+// path. Returns nil if nothing can ever run again.
+func (m *Machine) pickNext() (*Proc, WakeCause, uint64) {
 	var (
 		best      *Proc
 		bestTime  uint64 = math.MaxUint64
+		otherTime uint64 = math.MaxUint64
 		bestCause WakeCause
 	)
 	for _, q := range m.procs {
@@ -342,10 +352,12 @@ func (m *Machine) pickNext() (*Proc, WakeCause) {
 			continue
 		}
 		if t < bestTime {
-			best, bestTime, bestCause = q, t, c
+			best, bestTime, bestCause, otherTime = q, t, c, bestTime
+		} else if t < otherTime {
+			otherTime = t
 		}
 	}
-	return best, bestCause
+	return best, bestCause, otherTime
 }
 
 // pendingCause holds the cause recorded by Wake for a Proc that was blocked
@@ -397,12 +409,12 @@ func (p *Proc) SiblingActive() bool {
 }
 
 // maybeYield hands the token to the earliest other runnable Proc when our
-// clock has run past it (tolerating Config.Quantum cycles of lead). While we
-// hold the token our own state is stateRunning, so pickNext only considers
-// the other Procs.
+// clock has run past it (tolerating Config.Quantum cycles of lead). The
+// check is one compare against the cached otherMin: while this Proc remains
+// the unique earliest-clock runnable thread it keeps the token without
+// scanning the proc table (the common case on every Advance).
 func (p *Proc) maybeYield() {
-	next, t := p.m.pickNextTime()
-	if next == nil || p.clock <= t+p.m.cfg.Quantum {
+	if om := p.m.otherMin; om == math.MaxUint64 || p.clock <= om+p.m.cfg.Quantum {
 		return
 	}
 	p.state = stateReady
@@ -445,6 +457,12 @@ func (p *Proc) Wake(target *Proc, cause WakeCause, latency uint64) {
 	floor := p.clock + latency
 	if floor > target.wakeFloor {
 		target.wakeFloor = floor
+	}
+	// target is now runnable at its clock (the wake floor is applied at
+	// dispatch, matching pickNext's metric); fold it into the cached
+	// minimum so the waker's token-keeping fast path sees it.
+	if target.clock < p.m.otherMin {
+		p.m.otherMin = target.clock
 	}
 	// No handoff here: the waker keeps running; min-clock dispatch will
 	// schedule the woken Proc in virtual-time order.

@@ -15,6 +15,13 @@
 //	ssca2         tiny              very low        adjacency appends
 //	vacation-high medium            moderate        16-item reservation tables
 //	vacation-low  medium            low             1024-item tables
+//
+// Invariants: every kernel's simulated state lives in simulated memory and
+// is touched only through htm accessors from the currently running
+// sim.Proc (the single-runner invariant), and each kernel's input is
+// generated from Config.Seed by the deterministic sim RNG — so Run is a
+// bit-for-bit deterministic function of its Config, regardless of host
+// core count, and each app's Validate can check an exact final state.
 package stamp
 
 import (

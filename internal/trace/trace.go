@@ -3,6 +3,11 @@
 // counterpart of §4's serialization-dynamics analysis. A lemming cascade is
 // immediately visible: a column of aborts followed by long lock-held spans
 // on every lane.
+//
+// Invariants: Emit is called only from the currently running sim.Proc
+// (single-runner), so the tracer needs no locking and the event sequence is
+// a deterministic function of the machine seed; a nil *Tracer is a valid
+// no-op sink, so tracing on or off cannot change simulated results.
 package trace
 
 import (
