@@ -5,6 +5,7 @@
 //	elide -scheme opt-slr -lock ttas -structure hashtable -smt
 //	elide -scheme hle -lock mcs -abort-breakdown
 //	elide -scheme hle -lock mcs -hot-lines 8 -metrics - -trace-json run.json
+//	elide -scheme hle -lock mcs -causality -trace-json run.json
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"elision/internal/harness"
 	"elision/internal/htm"
 	"elision/internal/obs"
+	"elision/internal/obs/causality"
 	"elision/internal/trace"
 )
 
@@ -40,6 +42,7 @@ func run() error {
 	traceJSON := flag.String("trace-json", "", "write the run's Chrome/Perfetto trace-event JSON to this file")
 	metricsOut := flag.String("metrics", "", "write the metrics report to this file ('-' = stdout; a .csv suffix selects CSV)")
 	hotLines := flag.Int("hot-lines", 0, "print the top-N conflict hot lines")
+	causal := flag.Bool("causality", false, "attach the abort-causality engine: print the speculation-health scorecard and add cascade flow arrows to -trace-json")
 	flag.Parse()
 
 	var mix harness.Mix
@@ -71,8 +74,12 @@ func run() error {
 	// an unobserved run produces identical virtual-time results either way.
 	var col *obs.Collector
 	var tr *trace.Tracer
-	if *metricsOut != "" || *hotLines > 0 {
+	var eng *causality.Engine
+	if *metricsOut != "" || *hotLines > 0 || *causal {
 		col = obs.NewCollector(string(cfg.Scheme), string(cfg.Lock), cfg.BudgetCycles/20)
+	}
+	if *causal {
+		eng = causality.Attach(col, causality.Config{})
 	}
 	if *traceJSON != "" {
 		tr = trace.New(0)
@@ -108,13 +115,17 @@ func run() error {
 		fmt.Println()
 		col.Hot.WriteText(os.Stdout, *hotLines, annotate)
 	}
+	if eng != nil {
+		fmt.Println()
+		eng.WriteText(os.Stdout)
+	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, col, *hotLines, annotate); err != nil {
 			return fmt.Errorf("elide: %w", err)
 		}
 	}
 	if *traceJSON != "" {
-		if err := writeTrace(*traceJSON, tr); err != nil {
+		if err := writeTrace(*traceJSON, tr, eng); err != nil {
 			return fmt.Errorf("elide: %w", err)
 		}
 		fmt.Printf("wrote %d trace events to %s (open in ui.perfetto.dev or chrome://tracing)\n",
@@ -143,14 +154,17 @@ func writeMetrics(path string, col *obs.Collector, hotN int, annotate func(line 
 	return nil
 }
 
-// writeTrace exports the tracer's events as Chrome trace-event JSON.
-func writeTrace(path string, tr *trace.Tracer) error {
+// writeTrace exports the tracer's events as Chrome trace-event JSON, with
+// abort-cascade flow arrows appended when the causality engine ran.
+func writeTrace(path string, tr *trace.Tracer, eng *causality.Engine) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return obs.WriteChromeTrace(f, tr.Events(), func(arg int64) string {
-		return htm.Cause(arg).String()
-	})
+	causeName := func(arg int64) string { return htm.Cause(arg).String() }
+	if eng != nil {
+		return obs.WriteChromeTraceFlows(f, tr.Events(), causeName, eng.FlowEvents())
+	}
+	return obs.WriteChromeTrace(f, tr.Events(), causeName)
 }

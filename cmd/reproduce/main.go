@@ -19,6 +19,7 @@ import (
 	"elision/internal/harness"
 	"elision/internal/htm"
 	"elision/internal/obs"
+	"elision/internal/obs/causality"
 )
 
 func main() {
@@ -119,12 +120,14 @@ func run() error {
 }
 
 // observeLemming runs the §4 serialization-dynamics point (plain HLE over
-// MCS) with the observability rig attached and writes whichever outputs the
-// flags requested: the hot-line table to stdout, the metrics report, and the
-// Chrome trace-event JSON.
+// MCS) with the observability rig and abort-causality engine attached and
+// writes whichever outputs the flags requested: the hot-line table to
+// stdout, the metrics report (scorecard included), and the Chrome
+// trace-event JSON with cascade flow arrows.
 func observeLemming(sc harness.Scale, traceJSON, metricsOut string, hotN int) error {
 	fmt.Fprintln(os.Stderr, "== observe (§4 lemming point: hle over mcs) ==")
-	res, col, tr := harness.ObservedRun(sc.Section4Config(harness.SchemeHLE, harness.LockMCS))
+	res, col, tr, eng := harness.CausalRun(sc.Section4Config(harness.SchemeHLE, harness.LockMCS), causality.Config{})
+	fmt.Fprintf(os.Stderr, "   %s\n", eng.Report().Verdict("hle", "mcs"))
 	annotate := func(line int) string {
 		if res.HasLockLine(line) {
 			return " (lock)"
@@ -156,9 +159,9 @@ func observeLemming(sc harness.Scale, traceJSON, metricsOut string, hotN int) er
 			return err
 		}
 		defer f.Close()
-		if err := obs.WriteChromeTrace(f, tr.Events(), func(arg int64) string {
+		if err := obs.WriteChromeTraceFlows(f, tr.Events(), func(arg int64) string {
 			return htm.Cause(arg).String()
-		}); err != nil {
+		}, eng.FlowEvents()); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "   wrote %d trace events to %s\n", tr.Len(), traceJSON)

@@ -397,6 +397,7 @@ func (s *SCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 			s.aux.Lock(p)
 			auxOwner = true
 			auxStart = p.Clock()
+			s.m.TraceAuxLock(p)
 			o.AuxUsed = true
 		} else {
 			retries++
@@ -430,6 +431,7 @@ func (s *SCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 	if auxOwner {
 		s.aux.Unlock(p)
 		o.AuxDwell = p.Clock() - auxStart
+		s.m.TraceAuxUnlock(p)
 	}
 	return o
 }

@@ -35,6 +35,6 @@ func (s *Observed) Name() string { return s.inner.Name() }
 func (s *Observed) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 	start := p.Clock()
 	o := s.inner.Critical(p, body)
-	s.col.Op(p.Clock(), o.Speculative, p.Clock()-start, o.Attempts-1, o.AuxUsed, o.AuxDwell)
+	s.col.Op(p.Clock(), p.ID(), o.Speculative, p.Clock()-start, o.Attempts-1, o.AuxUsed, o.AuxDwell)
 	return o
 }

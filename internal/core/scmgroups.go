@@ -107,15 +107,18 @@ func (s *GroupedSCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 			s.aux[g].Lock(p)
 			heldAux = g
 			auxStart = p.Clock()
+			s.m.TraceAuxLock(p)
 			o.AuxUsed = true
 		case heldAux != g:
 			// The conflict moved to another community; migrate. The dwell
 			// accounting excludes the handover gap: only held time counts.
 			s.aux[heldAux].Unlock(p)
 			o.AuxDwell += p.Clock() - auxStart
+			s.m.TraceAuxUnlock(p)
 			s.aux[g].Lock(p)
 			heldAux = g
 			auxStart = p.Clock()
+			s.m.TraceAuxLock(p)
 			retries++
 		default:
 			retries++
@@ -147,6 +150,7 @@ func (s *GroupedSCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 	if heldAux >= 0 {
 		s.aux[heldAux].Unlock(p)
 		o.AuxDwell += p.Clock() - auxStart
+		s.m.TraceAuxUnlock(p)
 	}
 	return o
 }

@@ -245,6 +245,7 @@ func RunDataStructureObserved(cfg DSConfig, col *obs.Collector, tr *trace.Tracer
 	if lr, ok := l.(locks.LineReporter); ok {
 		lockLines = lr.LockLines()
 	}
+	col.SetLockLines(lockLines)
 
 	var stats core.Stats
 	var slots []Slot
@@ -290,5 +291,6 @@ func RunDataStructureObserved(cfg DSConfig, col *obs.Collector, tr *trace.Tracer
 	}
 	col.SetGauge("run_cycles", int64(maxClock))
 	col.SetGauge("run_threads", int64(cfg.Threads))
+	col.Finish(maxClock)
 	return Result{Config: cfg, Stats: stats, Cycles: maxClock, Slots: slots, LockLines: lockLines}
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"elision/internal/obs"
+	"elision/internal/obs/causality"
 	"elision/internal/trace"
 )
 
@@ -35,4 +36,17 @@ func ObservedRun(cfg DSConfig) (Result, *obs.Collector, *trace.Tracer) {
 	tr := trace.New(0)
 	res := RunDataStructureObserved(cfg, col, tr)
 	return res, col, tr
+}
+
+// CausalRun is ObservedRun with the abort-causality engine attached: the
+// returned engine holds the run's causality graph, abort classification and
+// serialization epochs, and its scorecard is part of the collector's text
+// dump. ccfg's zero value selects the engine defaults.
+func CausalRun(cfg DSConfig, ccfg causality.Config) (Result, *obs.Collector, *trace.Tracer, *causality.Engine) {
+	width := cfg.BudgetCycles / 20
+	col := obs.NewCollector(string(cfg.Scheme), string(cfg.Lock), width)
+	eng := causality.Attach(col, ccfg)
+	tr := trace.New(0)
+	res := RunDataStructureObserved(cfg, col, tr)
+	return res, col, tr, eng
 }

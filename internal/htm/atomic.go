@@ -1,6 +1,7 @@
 package htm
 
 import (
+	"elision/internal/obs"
 	"elision/internal/sim"
 	"elision/internal/trace"
 )
@@ -44,14 +45,25 @@ func (m *Memory) Atomic(p *sim.Proc, body func(tx *Tx)) Status {
 			m.tracer.Emit(p.Clock(), p.ID(), trace.TxAbort, int64(st.Cause))
 			// cleanup leaves the dense sets' member lists intact, so the
 			// collector sees the sizes reached before the abort — and, for
-			// conflicts, the line the abort was attributed to.
-			m.col.TxAbort(p.Clock(), st.Cause.String(),
-				tx.readSet.size(), tx.writeSet.size(), st.ConflictLine, st.ConflictTid)
+			// conflicts, the full causality payload: the line, the aborter,
+			// whether it was a fallback-path (non-transactional) access, and
+			// the aborter's clock at the dooming access.
+			m.col.TxAbort(obs.AbortEvent{
+				When:         p.Clock(),
+				Tid:          p.ID(),
+				Cause:        st.Cause.String(),
+				ReadLines:    tx.readSet.size(),
+				WriteLines:   tx.writeSet.size(),
+				ConflictLine: st.ConflictLine,
+				ConflictTid:  st.ConflictTid,
+				ConflictNT:   st.ConflictNT,
+				ConflictWhen: tx.doomWhen,
+			})
 		}()
 		body(tx)
 		st = tx.commit()
 		m.tracer.Emit(p.Clock(), p.ID(), trace.TxCommit, 0)
-		m.col.TxCommit(p.Clock(), tx.readSet.size(), tx.writeSet.size())
+		m.col.TxCommit(p.Clock(), p.ID(), tx.readSet.size(), tx.writeSet.size())
 	}()
 	m.cur[p.ID()] = nil
 	return st

@@ -110,6 +110,11 @@ type Status struct {
 	ConflictLine int
 	// ConflictTid is the thread whose access doomed this transaction, or -1.
 	ConflictTid int
+	// ConflictNT is true when the dooming access was non-transactional — the
+	// requestor was a real lock acquisition or a lock holder's plain access,
+	// not a fellow speculator. This is the bit that separates fallback-induced
+	// aborts (lemming roots) from speculative-conflict aborts.
+	ConflictNT bool
 }
 
 // Policy selects the transaction-vs-transaction conflict-resolution policy.
@@ -226,14 +231,31 @@ func (m *Memory) SetCollector(c *obs.Collector) { m.col = c }
 func (m *Memory) Collector() *obs.Collector { return m.col }
 
 // TraceLock records a non-speculative main-lock acquisition — schemes call
-// this on their fallback paths so timelines show lemming triggers.
+// this on their fallback paths so timelines show lemming triggers and the
+// causality engine can tie cascades to the acquire that rooted them.
 func (m *Memory) TraceLock(p *sim.Proc) {
 	m.tracer.Emit(p.Clock(), p.ID(), trace.LockAcquire, 0)
+	m.col.LockAcquired(p.Clock(), p.ID())
 }
 
 // TraceUnlock records the matching release.
 func (m *Memory) TraceUnlock(p *sim.Proc) {
 	m.tracer.Emit(p.Clock(), p.ID(), trace.LockRelease, 0)
+	m.col.LockReleased(p.Clock(), p.ID())
+}
+
+// TraceAuxLock records an SCM auxiliary-lock acquisition (serializing-path
+// entry). SCM schemes call it at the instant their aux dwell starts, so the
+// traced slice duration equals Outcome.AuxDwell.
+func (m *Memory) TraceAuxLock(p *sim.Proc) {
+	m.tracer.Emit(p.Clock(), p.ID(), trace.AuxAcquire, 0)
+	m.col.AuxAcquired(p.Clock(), p.ID())
+}
+
+// TraceAuxUnlock records the matching auxiliary release (dwell end).
+func (m *Memory) TraceAuxUnlock(p *sim.Proc) {
+	m.tracer.Emit(p.Clock(), p.ID(), trace.AuxRelease, 0)
+	m.col.AuxReleased(p.Clock(), p.ID())
 }
 
 // Cost returns the memory's cost model.
@@ -418,9 +440,10 @@ func (m *Memory) doomForWrite(p *sim.Proc, l int) {
 	}
 }
 
-// doom marks tx aborted, records the conflict's location and requestor for
-// the abort status, and wakes the victim if it is blocked inside the
-// transaction. The victim observes the doom at its next transactional step.
+// doom marks tx aborted, records the conflict's location, requestor, time
+// and transactional-ness for the abort status, and wakes the victim if it is
+// blocked inside the transaction. The victim observes the doom at its next
+// transactional step.
 func (m *Memory) doom(by *sim.Proc, tx *Tx, line int) {
 	if tx == nil || tx.doomed {
 		return
@@ -428,5 +451,9 @@ func (m *Memory) doom(by *sim.Proc, tx *Tx, line int) {
 	tx.doomed = true
 	tx.doomLine = line
 	tx.doomTid = by.ID()
+	// The requestor was non-transactional iff it runs no transaction right
+	// now: a real lock acquisition or a lock holder's plain access.
+	tx.doomNT = m.cur[by.ID()] == nil
+	tx.doomWhen = by.Clock()
 	by.Wake(tx.p, sim.WakeDoom, m.cost.WakeLatency)
 }

@@ -70,9 +70,13 @@ type Tx struct {
 	doomed bool
 	// doomLine / doomTid record where and by whom the dooming conflict
 	// happened, surfaced in the abort status (§8's refined-conflict-
-	// management direction).
+	// management direction). doomNT marks the requestor as non-transactional
+	// (a fallback-path access) and doomWhen is the requestor's clock at the
+	// dooming access — together the causality engine's edge payload.
 	doomLine int
 	doomTid  int
+	doomNT   bool
+	doomWhen uint64
 	depth    int // flat nesting depth beyond the outermost Atomic
 }
 
@@ -112,6 +116,7 @@ func (tx *Tx) reset(p *sim.Proc, m *Memory) {
 	tx.begin = p.Clock()
 	tx.doomed = false
 	tx.doomLine, tx.doomTid = -1, -1
+	tx.doomNT, tx.doomWhen = false, 0
 	tx.depth = 0
 }
 
@@ -131,6 +136,7 @@ func (tx *Tx) abortNow(cause Cause, code int) {
 	if cause == CauseConflict {
 		st.ConflictLine = tx.doomLine
 		st.ConflictTid = tx.doomTid
+		st.ConflictNT = tx.doomNT
 	}
 	panic(txAbortPanic{st})
 }
@@ -182,6 +188,7 @@ func (tx *Tx) addRead(l int) {
 	if lm.writer >= 0 && int(lm.writer) != tx.p.ID() {
 		if tx.m.policy == CommitterWins && !tx.m.cur[lm.writer].doomed {
 			tx.doomLine, tx.doomTid = l, int(lm.writer)
+			tx.doomNT, tx.doomWhen = false, tx.p.Clock()
 			tx.abortNow(CauseConflict, 0)
 		}
 		tx.m.doom(tx.p, tx.m.cur[lm.writer], l)
@@ -203,6 +210,7 @@ func (tx *Tx) addWrite(l int) {
 		// Abort ourselves if any live transactional owner exists.
 		if lm.writer >= 0 && int(lm.writer) != tx.p.ID() && !tx.m.cur[lm.writer].doomed {
 			tx.doomLine, tx.doomTid = l, int(lm.writer)
+			tx.doomNT, tx.doomWhen = false, tx.p.Clock()
 			tx.abortNow(CauseConflict, 0)
 		}
 		probe := lm.readers &^ (uint64(1) << tx.p.ID())
@@ -211,6 +219,7 @@ func (tx *Tx) addWrite(l int) {
 			probe &^= 1 << tid
 			if !tx.m.cur[tid].doomed {
 				tx.doomLine, tx.doomTid = l, tid
+				tx.doomNT, tx.doomWhen = false, tx.p.Clock()
 				tx.abortNow(CauseConflict, 0)
 			}
 		}

@@ -30,6 +30,74 @@ const (
 	MetricAuxDwell = "cs_aux_dwell_cycles"
 )
 
+// AbortEvent is the full payload of one transactional abort as the htm
+// layer reports it — the raw material for abort-causality analysis. It
+// extends the counted fields with the victim's identity and, for conflict
+// aborts, when/where/by-whom the dooming access happened.
+type AbortEvent struct {
+	// When is the victim's virtual time at the abort (XABORT retirement).
+	When uint64
+	// Tid is the victim: the proc whose transaction aborted.
+	Tid int
+	// Cause is the abort cause (htm.Cause.String()).
+	Cause string
+	// ReadLines / WriteLines are the set sizes reached before the abort.
+	ReadLines, WriteLines int
+	// ConflictLine is the cache line the dooming conflict happened on, or
+	// -1 when the abort carries no location.
+	ConflictLine int
+	// ConflictTid is the aborter: the proc whose access doomed the victim,
+	// or -1 when unknown.
+	ConflictTid int
+	// ConflictNT is true when the dooming access was non-transactional — a
+	// real lock acquisition or a lock holder's plain accesses, the roots of
+	// fallback-induced cascades.
+	ConflictNT bool
+	// ConflictWhen is the aborter's virtual time at the dooming access
+	// (before When: the victim observes the doom at its next step).
+	ConflictWhen uint64
+}
+
+// LockEvent is one non-speculative lock transition reported by the
+// instrumented schemes.
+type LockEvent struct {
+	// When is the holder's virtual time at the transition.
+	When uint64
+	// Tid is the acquiring/releasing proc.
+	Tid int
+	// Aux marks an SCM auxiliary-lock transition (false = the main lock).
+	Aux bool
+	// Release marks the release side of the pair.
+	Release bool
+}
+
+// TxObserver receives the collector's raw per-event feed — the hook the
+// abort-causality engine (obs/causality) attaches to. Calls follow the
+// simulator's single-runner invariant: they arrive serialized and in
+// near-monotone virtual-time order (within one scheduler quantum).
+type TxObserver interface {
+	// ObserveCommit is called for every transactional commit.
+	ObserveCommit(when uint64, tid int)
+	// ObserveAbort is called for every transactional abort.
+	ObserveAbort(ev AbortEvent)
+	// ObserveLock is called for every non-speculative lock transition.
+	ObserveLock(ev LockEvent)
+	// ObserveOp is called for every completed critical section.
+	ObserveOp(when uint64, tid int, spec, auxUsed bool)
+	// ObserveLockLines tells the observer which cache lines belong to the
+	// run's lock protocol (called before the run starts, when known).
+	ObserveLockLines(lines []int)
+	// ObserveFinish marks the end of the run at the given covered cycles;
+	// the observer finalizes any open analysis state.
+	ObserveFinish(totalCycles uint64)
+}
+
+// TextReporter is implemented by observers that can append a human-readable
+// report to the collector's text dump (e.g. the causality scorecard).
+type TextReporter interface {
+	WriteText(w io.Writer)
+}
+
 // Collector bundles the observability sinks one instrumented run feeds: the
 // registry, the conflict hot-line profiler and the windowed time series.
 // A nil *Collector is a valid no-op sink, mirroring *trace.Tracer, so the
@@ -43,6 +111,10 @@ type Collector struct {
 	Series *Series
 	// base carries the run's identity labels (scheme, lock).
 	base Labels
+	// obsv, when non-nil, receives the raw event feed.
+	obsv TxObserver
+	// lockLines is retained so an observer attached late still learns them.
+	lockLines []int
 
 	// Pre-resolved handles for the per-transaction hot path.
 	commits       *Counter
@@ -99,9 +171,42 @@ func (c *Collector) BaseLabels() Labels {
 	return c.base
 }
 
-// TxCommit records one transactional commit at virtual time when, with the
-// committed read/write-set sizes in cache lines. Safe on a nil receiver.
-func (c *Collector) TxCommit(when uint64, readLines, writeLines int) {
+// SetObserver attaches a raw-event observer (nil detaches). If the run's
+// lock lines are already known they are replayed to the new observer.
+func (c *Collector) SetObserver(o TxObserver) {
+	if c == nil {
+		return
+	}
+	c.obsv = o
+	if o != nil && c.lockLines != nil {
+		o.ObserveLockLines(c.lockLines)
+	}
+}
+
+// Observer returns the attached observer, possibly nil.
+func (c *Collector) Observer() TxObserver {
+	if c == nil {
+		return nil
+	}
+	return c.obsv
+}
+
+// SetLockLines records the cache lines the run's lock protocol occupies and
+// forwards them to the observer. Safe on a nil receiver.
+func (c *Collector) SetLockLines(lines []int) {
+	if c == nil {
+		return
+	}
+	c.lockLines = lines
+	if c.obsv != nil {
+		c.obsv.ObserveLockLines(lines)
+	}
+}
+
+// TxCommit records proc tid's transactional commit at virtual time when,
+// with the committed read/write-set sizes in cache lines. Safe on a nil
+// receiver.
+func (c *Collector) TxCommit(when uint64, tid, readLines, writeLines int) {
 	if c == nil {
 		return
 	}
@@ -109,29 +214,71 @@ func (c *Collector) TxCommit(when uint64, readLines, writeLines int) {
 	c.readAtCommit.Observe(uint64(readLines))
 	c.writeAtCommit.Observe(uint64(writeLines))
 	c.Series.RecordCommit(when)
+	if c.obsv != nil {
+		c.obsv.ObserveCommit(when, tid)
+	}
 }
 
-// TxAbort records one transactional abort at virtual time when: the cause,
-// the set sizes reached before the abort, and — for conflict aborts — the
-// conflicting cache line and the requestor that doomed us (negative when
-// unknown). Safe on a nil receiver.
-func (c *Collector) TxAbort(when uint64, cause string, readLines, writeLines, conflictLine, conflictTid int) {
+// TxAbort records one transactional abort: the cause, the set sizes reached
+// before the abort, and — for conflict aborts — where, when and by whom the
+// dooming access happened (negative ids when unknown). Safe on a nil
+// receiver.
+func (c *Collector) TxAbort(ev AbortEvent) {
 	if c == nil {
 		return
 	}
-	c.Reg.Counter(MetricAborts, c.base.With("cause", cause)).Inc()
-	c.readAtAbort.Observe(uint64(readLines))
-	c.writeAtAbort.Observe(uint64(writeLines))
-	c.Hot.Record(conflictLine, conflictTid)
-	c.Series.RecordAbort(when)
+	c.Reg.Counter(MetricAborts, c.base.With("cause", ev.Cause)).Inc()
+	c.readAtAbort.Observe(uint64(ev.ReadLines))
+	c.writeAtAbort.Observe(uint64(ev.WriteLines))
+	c.Hot.Record(ev.ConflictLine, ev.ConflictTid)
+	c.Series.RecordAbort(ev.When)
+	if c.obsv != nil {
+		c.obsv.ObserveAbort(ev)
+	}
 }
 
-// Op records one completed critical section finishing at virtual time when:
-// whether it committed speculatively, its start-to-finish latency, its
-// retry count (attempts beyond the first), and — for SCM schemes — whether
-// it entered the serializing path and for how many cycles it held the
-// auxiliary lock. Safe on a nil receiver.
-func (c *Collector) Op(when uint64, spec bool, latency uint64, retries int, auxUsed bool, auxDwell uint64) {
+// LockAcquired records proc tid's non-speculative main-lock acquisition.
+// Safe on a nil receiver.
+func (c *Collector) LockAcquired(when uint64, tid int) {
+	if c == nil || c.obsv == nil {
+		return
+	}
+	c.obsv.ObserveLock(LockEvent{When: when, Tid: tid})
+}
+
+// LockReleased records the matching main-lock release. Safe on a nil
+// receiver.
+func (c *Collector) LockReleased(when uint64, tid int) {
+	if c == nil || c.obsv == nil {
+		return
+	}
+	c.obsv.ObserveLock(LockEvent{When: when, Tid: tid, Release: true})
+}
+
+// AuxAcquired records proc tid entering an SCM serializing path (auxiliary
+// lock acquired). Safe on a nil receiver.
+func (c *Collector) AuxAcquired(when uint64, tid int) {
+	if c == nil || c.obsv == nil {
+		return
+	}
+	c.obsv.ObserveLock(LockEvent{When: when, Tid: tid, Aux: true})
+}
+
+// AuxReleased records the matching auxiliary-lock release. Safe on a nil
+// receiver.
+func (c *Collector) AuxReleased(when uint64, tid int) {
+	if c == nil || c.obsv == nil {
+		return
+	}
+	c.obsv.ObserveLock(LockEvent{When: when, Tid: tid, Aux: true, Release: true})
+}
+
+// Op records proc tid's completed critical section finishing at virtual
+// time when: whether it committed speculatively, its start-to-finish
+// latency, its retry count (attempts beyond the first), and — for SCM
+// schemes — whether it entered the serializing path and for how many cycles
+// it held the auxiliary lock. Safe on a nil receiver.
+func (c *Collector) Op(when uint64, tid int, spec bool, latency uint64, retries int, auxUsed bool, auxDwell uint64) {
 	if c == nil {
 		return
 	}
@@ -151,6 +298,18 @@ func (c *Collector) Op(when uint64, spec bool, latency uint64, retries int, auxU
 		c.auxDwell.Observe(auxDwell)
 	}
 	c.Series.RecordOp(when, spec)
+	if c.obsv != nil {
+		c.obsv.ObserveOp(when, tid, spec, auxUsed)
+	}
+}
+
+// Finish marks the end of the run at the given covered cycles, letting the
+// observer finalize (close open epochs, pin totals). Safe on a nil receiver.
+func (c *Collector) Finish(totalCycles uint64) {
+	if c == nil || c.obsv == nil {
+		return
+	}
+	c.obsv.ObserveFinish(totalCycles)
 }
 
 // SetGauge sets a run-level gauge (e.g. cycles covered, thread count) with
@@ -163,8 +322,10 @@ func (c *Collector) SetGauge(name string, v int64) {
 }
 
 // WriteText dumps the registry, the hot-line table (top hotN; 0 keeps the
-// default of 16) and the time series as one human-readable report.
-// annotate, when non-nil, labels known cache lines in the hot-line table.
+// default of 16), the time series and — when the attached observer can
+// report — its appended report (e.g. the causality scorecard), as one
+// human-readable report. annotate, when non-nil, labels known cache lines
+// in the hot-line table.
 func (c *Collector) WriteText(w io.Writer, hotN int, annotate func(line int) string) {
 	if c == nil {
 		return
@@ -175,10 +336,14 @@ func (c *Collector) WriteText(w io.Writer, hotN int, annotate func(line int) str
 	c.Reg.WriteText(w)
 	c.Hot.WriteText(w, hotN, annotate)
 	c.Series.WriteText(w)
+	if tr, ok := c.obsv.(TextReporter); ok {
+		tr.WriteText(w)
+	}
 }
 
 // WriteCSV dumps the registry and the time series in CSV form (two tables
-// separated by a blank line).
+// separated by a blank line). Observer-registered metrics (causality epochs
+// and depth/duration histograms) appear in the registry table.
 func (c *Collector) WriteCSV(w io.Writer) {
 	if c == nil {
 		return

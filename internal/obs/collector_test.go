@@ -7,10 +7,20 @@ import (
 
 func TestCollectorNilSafe(t *testing.T) {
 	var c *Collector
-	c.TxCommit(1, 2, 3)
-	c.TxAbort(1, "conflict", 2, 3, 4, 5)
-	c.Op(1, true, 100, 0, false, 0)
+	c.TxCommit(1, 0, 2, 3)
+	c.TxAbort(AbortEvent{When: 1, Tid: 0, Cause: "conflict", ReadLines: 2, WriteLines: 3, ConflictLine: 4, ConflictTid: 5})
+	c.Op(1, 0, true, 100, 0, false, 0)
 	c.SetGauge("run_cycles", 1)
+	c.SetObserver(nil)
+	c.SetLockLines([]int{1})
+	c.LockAcquired(1, 0)
+	c.LockReleased(2, 0)
+	c.AuxAcquired(3, 0)
+	c.AuxReleased(4, 0)
+	c.Finish(10)
+	if c.Observer() != nil {
+		t.Fatal("nil collector observer")
+	}
 	if c.BaseLabels() != nil {
 		t.Fatal("nil collector labels")
 	}
@@ -24,11 +34,11 @@ func TestCollectorNilSafe(t *testing.T) {
 
 func TestCollectorFeedsAllSinks(t *testing.T) {
 	c := NewCollector("hle", "mcs", 1000)
-	c.TxCommit(100, 5, 2)
-	c.TxAbort(200, "conflict", 3, 1, 7, 2)
-	c.TxAbort(300, "capacity", 9, 9, -1, -1)
-	c.Op(400, true, 250, 0, false, 0)
-	c.Op(1500, false, 9000, 3, true, 4000)
+	c.TxCommit(100, 0, 5, 2)
+	c.TxAbort(AbortEvent{When: 200, Tid: 1, Cause: "conflict", ReadLines: 3, WriteLines: 1, ConflictLine: 7, ConflictTid: 2})
+	c.TxAbort(AbortEvent{When: 300, Tid: 1, Cause: "capacity", ReadLines: 9, WriteLines: 9, ConflictLine: -1, ConflictTid: -1})
+	c.Op(400, 0, true, 250, 0, false, 0)
+	c.Op(1500, 1, false, 9000, 3, true, 4000)
 	c.SetGauge("run_cycles", 1500)
 
 	if got := c.Reg.Counter(MetricCommits, c.BaseLabels()).Value(); got != 1 {

@@ -19,6 +19,9 @@ type HotLines struct {
 	// requestors is the set of procs whose accesses doomed victims on the
 	// line (a bitmask; the sim caps procs at 64).
 	requestors map[int]uint64
+	// aborters is conflict aborts per dooming proc tid — who caused aborts,
+	// not just where. Fed from Status.ConflictTid.
+	aborters map[int]uint64
 }
 
 // NewHotLines creates an empty profiler.
@@ -26,6 +29,7 @@ func NewHotLines() *HotLines {
 	return &HotLines{
 		counts:     make(map[int]uint64),
 		requestors: make(map[int]uint64),
+		aborters:   make(map[int]uint64),
 	}
 }
 
@@ -38,8 +42,11 @@ func (h *HotLines) Record(line, tid int) {
 	}
 	h.mu.Lock()
 	h.counts[line]++
-	if tid >= 0 && tid < 64 {
-		h.requestors[line] |= 1 << uint(tid)
+	if tid >= 0 {
+		h.aborters[tid]++
+		if tid < 64 {
+			h.requestors[line] |= 1 << uint(tid)
+		}
 	}
 	h.mu.Unlock()
 }
@@ -92,6 +99,39 @@ func (h *HotLines) TopN(n int) []LineCount {
 	return out
 }
 
+// AborterCount is one top-aborter table entry.
+type AborterCount struct {
+	// Tid is the proc whose accesses doomed victims.
+	Tid int
+	// Aborts is how many conflict aborts it caused.
+	Aborts uint64
+}
+
+// TopAborters returns the n procs that caused the most conflict aborts, by
+// count descending (ties broken by tid for determinism). n <= 0 returns
+// every aborter.
+func (h *HotLines) TopAborters(n int) []AborterCount {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	out := make([]AborterCount, 0, len(h.aborters))
+	for tid, c := range h.aborters {
+		out = append(out, AborterCount{Tid: tid, Aborts: c})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Aborts != out[j].Aborts {
+			return out[i].Aborts > out[j].Aborts
+		}
+		return out[i].Tid < out[j].Tid
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
 // WriteText renders the top-n table. annotate, when non-nil, returns a
 // suffix for a line (e.g. "main lock" for the lock word's line).
 func (h *HotLines) WriteText(w io.Writer, n int, annotate func(line int) string) {
@@ -115,5 +155,17 @@ func (h *HotLines) WriteText(w io.Writer, n int, annotate func(line int) string)
 		}
 		fmt.Fprintf(w, "  line %-8d %8d aborts (%5.1f%%)  requestors=%0#x%s\n",
 			lc.Line, lc.Aborts, pct, lc.Requestors, note)
+	}
+	aborters := h.TopAborters(n)
+	if len(aborters) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "top aborter threads (conflict aborts caused):")
+	for _, ac := range aborters {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(ac.Aborts) / float64(total)
+		}
+		fmt.Fprintf(w, "  tid %-8d %8d aborts (%5.1f%%)\n", ac.Tid, ac.Aborts, pct)
 	}
 }

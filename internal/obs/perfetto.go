@@ -21,6 +21,13 @@ type TraceEvent struct {
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
+	// Cat and ID are required on flow events (ph "s"/"f"): events with the
+	// same cat+id form one flow arrow in the Perfetto UI.
+	Cat string `json:"cat,omitempty"`
+	ID  string `json:"id,omitempty"`
+	// BP set to "e" on a flow finish binds the arrow to the slice *ending*
+	// at Ts (the aborted transaction) instead of the next one beginning.
+	BP string `json:"bp,omitempty"`
 }
 
 // ChromeTraceEvents converts recorded simulator events into Chrome
@@ -87,6 +94,12 @@ func ChromeTraceEvents(events []trace.Event, causeName func(arg int64) string) [
 			if !pop(e.Proc, e.When, "lock", nil) {
 				out = append(out, TraceEvent{Name: "unlock", Ph: "i", Ts: e.When, Pid: 0, Tid: e.Proc, Scope: "t"})
 			}
+		case trace.AuxAcquire:
+			push(e.Proc, e.When, "aux")
+		case trace.AuxRelease:
+			if !pop(e.Proc, e.When, "aux", nil) {
+				out = append(out, TraceEvent{Name: "aux-unlock", Ph: "i", Ts: e.When, Pid: 0, Tid: e.Proc, Scope: "t"})
+			}
 		}
 	}
 
@@ -119,6 +132,17 @@ func ChromeTraceEvents(events []trace.Event, causeName func(arg int64) string) [
 func WriteChromeTrace(w io.Writer, events []trace.Event, causeName func(arg int64) string) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(ChromeTraceEvents(events, causeName))
+}
+
+// WriteChromeTraceFlows writes the events as a Chrome trace-event JSON array
+// with extra pre-built events (typically abort-causality flow arrows from
+// causality.FlowEvents) appended, so cascades render as arrows from the
+// aborter's slice to the victim's aborting transaction.
+func WriteChromeTraceFlows(w io.Writer, events []trace.Event, causeName func(arg int64) string, extra []TraceEvent) error {
+	all := ChromeTraceEvents(events, causeName)
+	all = append(all, extra...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(all)
 }
 
 // sortedKeys returns the map's keys in ascending order.

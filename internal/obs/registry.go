@@ -250,7 +250,7 @@ type row struct {
 	value           int64
 	count, sum, max uint64
 	mean            float64
-	p50, p99        uint64
+	p50, p99, p999  uint64
 }
 
 // rows snapshots every metric, sorted by (kind, name, labels) for stable
@@ -269,6 +269,7 @@ func (r *Registry) rows() []row {
 			kind: "histogram", name: k.name, labels: k.labels,
 			count: h.Count(), sum: h.Sum(), max: h.Max(),
 			mean: h.Mean(), p50: h.Quantile(0.50), p99: h.Quantile(0.99),
+			p999: h.Quantile(0.999),
 		})
 	}
 	r.mu.Unlock()
@@ -297,25 +298,34 @@ func (r *Registry) WriteText(w io.Writer) {
 	for _, ro := range r.rows() {
 		switch ro.kind {
 		case "histogram":
-			fmt.Fprintf(w, "%-9s %-60s count=%d mean=%.1f p50<=%d p99<=%d max=%d\n",
-				ro.kind, ro.ident(), ro.count, ro.mean, ro.p50, ro.p99, ro.max)
+			fmt.Fprintf(w, "%-9s %-60s count=%d mean=%.1f p50<=%d p99<=%d p999<=%d max=%d\n",
+				ro.kind, ro.ident(), ro.count, ro.mean, ro.p50, ro.p99, ro.p999, ro.max)
 		default:
 			fmt.Fprintf(w, "%-9s %-60s %d\n", ro.kind, ro.ident(), ro.value)
 		}
 	}
 }
 
+// csvField quotes a field per RFC 4180: wrap in double quotes and double any
+// embedded quote. Go's %q verb escapes with backslashes, which a conforming
+// CSV reader (encoding/csv included) does not undo — so label values holding
+// quotes would not round-trip; this does.
+func csvField(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
 // WriteCSV dumps every metric with a fixed header so downstream tooling can
-// join runs.
+// join runs. The labels column is RFC 4180-quoted so values containing
+// commas or quotes round-trip through standard CSV readers.
 func (r *Registry) WriteCSV(w io.Writer) {
-	fmt.Fprintln(w, "kind,name,labels,value,count,sum,mean,p50,p99,max")
+	fmt.Fprintln(w, "kind,name,labels,value,count,sum,mean,p50,p99,p999,max")
 	for _, ro := range r.rows() {
 		switch ro.kind {
 		case "histogram":
-			fmt.Fprintf(w, "%s,%s,%q,,%d,%d,%.2f,%d,%d,%d\n",
-				ro.kind, ro.name, ro.labels, ro.count, ro.sum, ro.mean, ro.p50, ro.p99, ro.max)
+			fmt.Fprintf(w, "%s,%s,%s,,%d,%d,%.2f,%d,%d,%d,%d\n",
+				ro.kind, ro.name, csvField(ro.labels), ro.count, ro.sum, ro.mean, ro.p50, ro.p99, ro.p999, ro.max)
 		default:
-			fmt.Fprintf(w, "%s,%s,%q,%d,,,,,,\n", ro.kind, ro.name, ro.labels, ro.value)
+			fmt.Fprintf(w, "%s,%s,%s,%d,,,,,,,\n", ro.kind, ro.name, csvField(ro.labels), ro.value)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/csv"
 	"strings"
 	"sync"
 	"testing"
@@ -117,10 +118,76 @@ func TestWriteTextAndCSV(t *testing.T) {
 	var csv strings.Builder
 	r.WriteCSV(&csv)
 	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
-	if lines[0] != "kind,name,labels,value,count,sum,mean,p50,p99,max" {
+	if lines[0] != "kind,name,labels,value,count,sum,mean,p50,p99,p999,max" {
 		t.Fatalf("csv header = %q", lines[0])
 	}
 	if len(lines) != 4 {
 		t.Fatalf("csv rows = %d, want 4 (header + 3 metrics)", len(lines))
+	}
+}
+
+func TestHistogramP999(t *testing.T) {
+	// Tail-dominated sample: 999 small values and one huge one. p99 and p999
+	// stay in the small bucket (the outlier is sample 1000 of 1000); only the
+	// max/p100 reaches it.
+	var h Histogram
+	for i := 0; i < 999; i++ {
+		h.Observe(3)
+	}
+	h.Observe(1 << 30)
+	if q := h.Quantile(0.99); q != 3 {
+		t.Fatalf("p99 = %d, want 3", q)
+	}
+	if q := h.Quantile(0.999); q != 3 {
+		t.Fatalf("p999 = %d, want 3 (outlier is sample 1000 of 1000)", q)
+	}
+	if q := h.Quantile(1.0); q < 1<<29 {
+		t.Fatalf("p100 = %d, want >= 2^29", q)
+	}
+
+	// Empty histogram: every quantile is 0.
+	if q := (&Histogram{}).Quantile(0.999); q != 0 {
+		t.Fatalf("empty p999 = %d, want 0", q)
+	}
+	// Single bucket: every quantile lands on that bucket's upper edge.
+	var one Histogram
+	one.Observe(100) // bucket [64,128)
+	for _, q := range []float64{0.5, 0.99, 0.999, 1.0} {
+		if got := one.Quantile(q); got != 127 {
+			t.Fatalf("single-bucket q%.3f = %d, want 127", q, got)
+		}
+	}
+	// Dump rows carry the p999 column in both formats.
+	r := NewRegistry()
+	r.Histogram("cs_latency_cycles", nil).Observe(100)
+	var txt strings.Builder
+	r.WriteText(&txt)
+	if !strings.Contains(txt.String(), "p999<=127") {
+		t.Fatalf("text dump missing p999:\n%s", txt.String())
+	}
+}
+
+func TestCSVLabelsRoundTrip(t *testing.T) {
+	// Label values holding commas and quotes must survive a standard CSV
+	// reader: the labels column is one field, byte-identical after parsing.
+	r := NewRegistry()
+	hairy := L("note", `a,b"c`, "k", `"quoted"`)
+	r.Counter("ops_total", hairy).Add(5)
+	r.Histogram("lat", hairy).Observe(7)
+
+	var out strings.Builder
+	r.WriteCSV(&out)
+	rows, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV dump does not parse: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("parsed rows = %d, want 3 (header + 2 metrics)", len(rows))
+	}
+	want := hairy.String()
+	for _, row := range rows[1:] {
+		if row[2] != want {
+			t.Fatalf("labels field = %q, want %q", row[2], want)
+		}
 	}
 }

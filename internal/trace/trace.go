@@ -32,10 +32,15 @@ const (
 	LockAcquire
 	// LockRelease marks the main lock's release.
 	LockRelease
+	// AuxAcquire marks an SCM auxiliary-lock acquisition (serializing-path
+	// entry; the dwell starts here).
+	AuxAcquire
+	// AuxRelease marks the auxiliary lock's release (dwell end).
+	AuxRelease
 )
 
 // numKinds is the number of distinct kinds (for sizing tallies).
-const numKinds = 5
+const numKinds = 7
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -50,6 +55,10 @@ func (k Kind) String() string {
 		return "lock"
 	case LockRelease:
 		return "unlock"
+	case AuxAcquire:
+		return "aux-lock"
+	case AuxRelease:
+		return "aux-unlock"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -108,8 +117,9 @@ func (t *Tracer) Len() int {
 
 // Timeline renders the window [from, to) as an ASCII swimlane per proc,
 // with cols columns of (to-from)/cols cycles each. Cell glyphs, by
-// priority: 'L' a lock acquire, 'u' a lock release, 'x' an abort, 'c' a
-// commit, 'b' a begin, '.' nothing.
+// priority: 'L' a lock acquire, 'u' a lock release, 'a' an aux-lock
+// acquire, 'v' an aux-lock release, 'x' an abort, 'c' a commit, 'b' a
+// begin, '.' nothing.
 func (t *Tracer) Timeline(w io.Writer, procs int, from, to uint64, cols int) {
 	if t == nil || cols <= 0 || to <= from {
 		return
@@ -125,8 +135,12 @@ func (t *Tracer) Timeline(w io.Writer, procs int, from, to uint64, cols int) {
 	prio := func(g byte) int {
 		switch g {
 		case 'L':
-			return 5
+			return 7
 		case 'u':
+			return 6
+		case 'a':
+			return 5
+		case 'v':
 			return 4
 		case 'x':
 			return 3
@@ -158,6 +172,10 @@ func (t *Tracer) Timeline(w io.Writer, procs int, from, to uint64, cols int) {
 			g = 'L'
 		case LockRelease:
 			g = 'u'
+		case AuxAcquire:
+			g = 'a'
+		case AuxRelease:
+			g = 'v'
 		default:
 			continue
 		}
@@ -165,7 +183,7 @@ func (t *Tracer) Timeline(w io.Writer, procs int, from, to uint64, cols int) {
 			grid[e.Proc][col] = g
 		}
 	}
-	fmt.Fprintf(w, "timeline %d..%d cycles (%d cycles/col; b=begin c=commit x=abort L=lock u=unlock)\n", from, to, width)
+	fmt.Fprintf(w, "timeline %d..%d cycles (%d cycles/col; b=begin c=commit x=abort L=lock u=unlock a=aux-lock v=aux-unlock)\n", from, to, width)
 	for i, lane := range grid {
 		fmt.Fprintf(w, "  p%-2d %s\n", i, lane)
 	}
