@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -194,23 +195,40 @@ func reproduceQuick() time.Duration {
 }
 
 func main() {
-	out := flag.String("out", "", "write JSON here instead of stdout")
-	compare := flag.String("compare", "", "baseline BENCH_simulator.json to embed and compute ratios against")
-	iters := flag.Int("iters", 5, "measured iterations per workload (after one warmup)")
-	repro := flag.Bool("reproduce", false, "also time the in-process quick figure suite")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("out", "", "write JSON here instead of stdout")
+	compare := fs.String("compare", "", "baseline BENCH_simulator.json to embed and compute ratios against")
+	iters := fs.Int("iters", 5, "measured iterations per workload (after one warmup)")
+	repro := fs.Bool("reproduce", false, "also time the in-process quick figure suite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// A non-positive iteration count would divide by zero into Inf/NaN
+	// fields that either poison the JSON trajectory or fail to marshal at
+	// the very end of the run — reject it up front.
+	if *iters < 1 {
+		return fmt.Errorf("bench: -iters must be >= 1 (got %d)", *iters)
+	}
 
 	var baseline map[string]Measurement
 	if *compare != "" {
 		raw, err := os.ReadFile(*compare)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		var prev Report
 		if err := json.Unmarshal(raw, &prev); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fmt.Errorf("bench: baseline %s: %w", *compare, err)
+		}
+		if len(prev.Workloads) == 0 {
+			return fmt.Errorf("bench: baseline %s contains no workloads", *compare)
 		}
 		baseline = make(map[string]Measurement, len(prev.Workloads))
 		for _, m := range prev.Workloads {
@@ -239,16 +257,12 @@ func main() {
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
-		return
+		_, err = stdout.Write(enc)
+		return err
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	return os.WriteFile(*out, enc, 0o644)
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRejectsBadIters: a non-positive -iters used to run the whole suite
+// and then fail (or emit Inf) at JSON-encoding time; now it is rejected
+// before any workload runs.
+func TestRejectsBadIters(t *testing.T) {
+	var out bytes.Buffer
+	for _, iters := range []string{"0", "-3"} {
+		err := run([]string{"-iters", iters}, &out)
+		if err == nil {
+			t.Fatalf("run accepted -iters %s", iters)
+		}
+		if !strings.Contains(err.Error(), "-iters") {
+			t.Fatalf("error does not name the offending flag: %v", err)
+		}
+	}
+}
+
+func TestRejectsMalformedFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+}
+
+// TestRejectsBadBaseline: -compare against a missing or malformed baseline
+// fails up front instead of measuring for minutes and reporting no ratios.
+func TestRejectsBadBaseline(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-compare", filepath.Join(t.TempDir(), "missing.json")}, &out); err == nil {
+		t.Fatal("run accepted a missing baseline file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", bad}, &out); err == nil {
+		t.Fatal("run accepted a malformed baseline file")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema":"elision-bench/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", empty}, &out); err == nil {
+		t.Fatal("run accepted a baseline with no workloads")
+	}
+}

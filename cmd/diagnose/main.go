@@ -10,18 +10,55 @@
 //	diagnose -scheme hle -lock mcs   # restrict the panel
 //
 // Exit status is 0 whenever the diagnosis completes; the verdicts themselves
-// are data, not errors.
+// are data, not errors. Unknown -scheme/-lock names are flag errors (exit 1),
+// not a silent fallback to the default panel.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"elision/internal/harness"
 	"elision/internal/obs/causality"
 )
+
+// knownSchemes lists every scheme name the harness factory accepts.
+func knownSchemes() []string {
+	out := []string{string(harness.SchemeNoLock)}
+	for _, s := range harness.AllSchemes {
+		out = append(out, string(s))
+	}
+	return append(out, string(harness.SchemeHLESCMGrouped), string(harness.SchemeSLRSCMGrouped))
+}
+
+func knownLocks() []string {
+	return []string{
+		string(harness.LockTTAS), string(harness.LockMCS),
+		string(harness.LockTicketHLE), string(harness.LockCLHHLE),
+	}
+}
+
+func knownScheme(name string) bool {
+	for _, s := range knownSchemes() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+func knownLock(name string) bool {
+	for _, l := range knownLocks() {
+		if l == name {
+			return true
+		}
+	}
+	return false
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -30,7 +67,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout *os.File) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "test-scale run (fast, for CI smoke)")
 	jsonOut := fs.String("json", "", "also write the verdict document as JSON to this path (- for stdout)")
@@ -50,6 +87,13 @@ func run(args []string, stdout *os.File) error {
 		sc.Budget = *budget
 	}
 
+	if *scheme != "" && !knownScheme(*scheme) {
+		return fmt.Errorf("diagnose: unknown scheme %q (known: %s)", *scheme, strings.Join(knownSchemes(), ", "))
+	}
+	if *lock != "" && !knownLock(*lock) {
+		return fmt.Errorf("diagnose: unknown lock %q (known: %s)", *lock, strings.Join(knownLocks(), ", "))
+	}
+
 	panel := harness.DefaultDiagnosePanel()
 	if *scheme != "" || *lock != "" {
 		var sel []harness.DiagnosePoint
@@ -60,7 +104,7 @@ func run(args []string, stdout *os.File) error {
 			}
 		}
 		if len(sel) == 0 {
-			// Not in the default panel: run the requested point directly.
+			// Valid names, but not a default-panel point: run it directly.
 			s, l := harness.SchemeID(*scheme), harness.LockID(*lock)
 			if s == "" {
 				s = harness.SchemeHLE

@@ -99,6 +99,31 @@ func TestDiagnoseGolden(t *testing.T) {
 	}
 }
 
+// TestRejectsUnknownNames: a typo in -scheme/-lock must be a hard error,
+// not a silent fallback to the default panel (the old behavior happily
+// diagnosed hle/mcs when asked for a scheme that does not exist).
+func TestRejectsUnknownNames(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-quick", "-scheme", "hel"}, &out)
+	if err == nil {
+		t.Fatal("run accepted unknown scheme \"hel\"")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("hel")) ||
+		!bytes.Contains([]byte(err.Error()), []byte("known:")) {
+		t.Fatalf("error does not name the bad scheme and the valid set: %v", err)
+	}
+	if err := run([]string{"-quick", "-lock", "mcss"}, &out); err == nil {
+		t.Fatal("run accepted unknown lock \"mcss\"")
+	}
+}
+
+func TestRejectsMalformedFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+}
+
 // TestDiagnosePanelFilter checks -scheme/-lock restriction, including a
 // point outside the default panel.
 func TestDiagnosePanelFilter(t *testing.T) {

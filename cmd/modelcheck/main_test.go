@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"elision/internal/modelcheck"
+	"elision/internal/modelcheck/mutants"
+)
+
+func TestQuickGate(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "summary.json")
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-json", jsonPath}, &out); err != nil {
+		t.Fatalf("quick gate failed: %v\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum modelcheck.Summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("summary JSON does not parse: %v", err)
+	}
+	if sum.SchemaVersion != modelcheck.SummarySchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", sum.SchemaVersion, modelcheck.SummarySchemaVersion)
+	}
+	if sum.TotalViolations != 0 {
+		t.Fatalf("quick campaign found %d violations: %+v", sum.TotalViolations, sum.Failures)
+	}
+	if len(sum.Mutants) != len(mutants.All()) {
+		t.Fatalf("quick gate ran %d mutants, registry has %d", len(sum.Mutants), len(mutants.All()))
+	}
+	for _, mr := range sum.Mutants {
+		if !mr.Caught {
+			t.Errorf("mutant %s escaped under the quick gate", mr.Name)
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-seeds", "0"},
+		{"-schemes", "hle,no-such-scheme"},
+		{"-locks", "ttas,no-such-lock"},
+		{"stray-positional"},
+		{"-repro", "not-a-repro"},
+	} {
+		err := run(args, &out)
+		if err == nil || errors.Is(err, errFailed) {
+			t.Errorf("run(%v) should have failed with a usage error, got %v", args, err)
+		}
+	}
+}
+
+// TestReproReplay: a mutant catch emitted by the campaign must replay to
+// the same violation through -repro, exiting non-zero.
+func TestReproReplay(t *testing.T) {
+	res := modelcheck.RunMutant(mutants.All()[0], 1, false)
+	if !res.Caught {
+		t.Fatal("stale-slr not caught; cannot test replay")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-repro", res.Repro}, &out)
+	if !errors.Is(err, errFailed) {
+		t.Fatalf("replaying a failing repro returned %v, want errFailed\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), res.Oracle) {
+		t.Fatalf("replay output does not name oracle %s:\n%s", res.Oracle, out.String())
+	}
+
+	// A clean case replays to PASS and exit 0.
+	clean := modelcheck.GenCase("hle", "ttas", 3)
+	out.Reset()
+	if err := run([]string{"-repro", clean.Repro()}, &out); err != nil {
+		t.Fatalf("clean replay failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("clean replay did not report PASS:\n%s", out.String())
+	}
+}
+
+// TestCampaignSubsetDeterministic: the same invocation twice produces
+// byte-identical JSON (the acceptance criterion for pinned-seed mode).
+func TestCampaignSubsetDeterministic(t *testing.T) {
+	args := []string{"-seeds", "3", "-schemes", "opt-slr,hle-scm", "-locks", "ttas,mcs", "-json", "-"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical invocations produced different JSON summaries")
+	}
+}

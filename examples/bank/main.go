@@ -12,7 +12,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"elision"
 	"elision/internal/mem"
@@ -27,17 +29,17 @@ const (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	fmt.Printf("%-12s %-6s %10s %10s %14s %8s\n",
+func run(out io.Writer) error {
+	fmt.Fprintf(out, "%-12s %-6s %10s %10s %14s %8s\n",
 		"scheme", "lock", "spec%", "aborts/op", "ops/Mcycle", "audit")
 	for _, lockName := range []string{"ttas", "mcs"} {
 		for _, schemeName := range []string{"standard", "hle", "hle-scm", "opt-slr"} {
-			if err := runOne(lockName, schemeName); err != nil {
+			if err := runOne(out, lockName, schemeName); err != nil {
 				return err
 			}
 		}
@@ -45,7 +47,7 @@ func run() error {
 	return nil
 }
 
-func runOne(lockName, schemeName string) error {
+func runOne(out io.Writer, lockName, schemeName string) error {
 	sys, err := elision.NewSystem(elision.Config{Threads: threads, Seed: 11, Quantum: 64})
 	if err != nil {
 		return err
@@ -128,7 +130,7 @@ func runOne(lockName, schemeName string) error {
 			maxClock = c
 		}
 	}
-	fmt.Printf("%-12s %-6s %9.1f%% %10.2f %14.1f %8d\n",
+	fmt.Fprintf(out, "%-12s %-6s %9.1f%% %10.2f %14.1f %8d\n",
 		schemeName, lockName,
 		100*(1-stats.NonSpecFraction()),
 		float64(stats.Aborts)/float64(stats.Ops),

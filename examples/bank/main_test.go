@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBankRuns executes the transfer workload in-process. run() itself
+// enforces the conservation invariant (and the audit sections panic on
+// an inconsistent snapshot), so a nil error certifies correctness for
+// every scheme×lock combination the example covers.
+func TestBankRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("bank example failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"standard", "hle-scm", "opt-slr", "ttas", "mcs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Every combination must have produced a data row: header + 2 locks × 4 schemes.
+	if got := strings.Count(out.String(), "\n"); got != 9 {
+		t.Errorf("expected 9 output lines (header + 8 combos), got %d:\n%s", got, out.String())
+	}
+}

@@ -12,7 +12,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"elision"
 	"elision/internal/core"
@@ -21,21 +23,21 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	if err := soloElision(); err != nil {
+func run(out io.Writer) error {
+	if err := soloElision(out); err != nil {
 		return err
 	}
-	return contended()
+	return contended(out)
 }
 
 // soloElision tries to elide each lock with nothing else running: the
 // cleanest possible conditions. Standard ticket/CLH must still fail.
-func soloElision() error {
+func soloElision(out io.Writer) error {
 	sys, err := elision.NewSystem(elision.Config{Threads: 1, Seed: 1})
 	if err != nil {
 		return err
@@ -77,7 +79,7 @@ func soloElision() error {
 		}},
 	}
 
-	fmt.Println("Solo elision attempts (Appendix A):")
+	fmt.Fprintln(out, "Solo elision attempts (Appendix A):")
 	sys.Go(func(p *elision.Proc) {
 		for _, a := range attempts {
 			st := hm.Atomic(p, func(tx *htm.Tx) { a.body(tx) })
@@ -85,7 +87,7 @@ func soloElision() error {
 			if !st.Committed {
 				verdict = fmt.Sprintf("ABORTED (%v)", st.Cause)
 			}
-			fmt.Printf("  %-28s %s\n", a.name, verdict)
+			fmt.Fprintf(out, "  %-28s %s\n", a.name, verdict)
 		}
 	})
 	return sys.Run()
@@ -117,8 +119,8 @@ func clhLockSpec(tx *htm.Tx, l *locks.CLH) {
 
 // contended runs a shared counter under the adjusted fair locks with
 // HLE-SCM and verifies both correctness and a healthy speculation rate.
-func contended() error {
-	fmt.Println("\nContended (8 threads, HLE-SCM over adjusted fair locks):")
+func contended(out io.Writer) error {
+	fmt.Fprintln(out, "\nContended (8 threads, HLE-SCM over adjusted fair locks):")
 	for _, name := range []string{"ticket-hle", "clh-hle", "mcs"} {
 		sys, err := elision.NewSystem(elision.Config{Threads: 8, Seed: 3, Quantum: 64})
 		if err != nil {
@@ -151,7 +153,7 @@ func contended() error {
 		if total != 8*300 {
 			return fmt.Errorf("%s: lost updates: %d", name, total)
 		}
-		fmt.Printf("  %-12s speculative %.1f%%, attempts/op %.2f\n",
+		fmt.Fprintf(out, "  %-12s speculative %.1f%%, attempts/op %.2f\n",
 			name, 100*(1-stats.NonSpecFraction()), stats.AttemptsPerOp())
 	}
 	return nil

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFairlocksRuns executes the Appendix A demonstration in-process.
+// The standard ticket/CLH elision attempts must abort (their releases
+// do not restore the lock word) and the adjusted variants must commit;
+// the contended phase asserts no lost updates before returning nil.
+func TestFairlocksRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("fairlocks example failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, line := range strings.Split(s, "\n") {
+		switch {
+		case strings.Contains(line, "(standard)"):
+			if !strings.Contains(line, "ABORTED") {
+				t.Errorf("standard lock elision should abort: %q", line)
+			}
+		case strings.Contains(line, "(adjusted"):
+			if !strings.Contains(line, "COMMITTED") {
+				t.Errorf("adjusted lock elision should commit: %q", line)
+			}
+		}
+	}
+	for _, want := range []string{"ticket-hle", "clh-hle", "mcs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("contended phase missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -24,7 +25,7 @@ func main() {
 	}
 }
 
-func run(out *os.File) error {
+func run(out io.Writer) error {
 	const (
 		threads = 8
 		iters   = 300

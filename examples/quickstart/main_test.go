@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns executes the example in-process. The run itself
+// asserts counter conservation for every scheme, so a nil error means
+// all six schemes completed a correct workload.
+func TestQuickstartRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("quickstart failed: %v\n%s", err, out.String())
+	}
+	for _, scheme := range []string{
+		"standard", "hle", "hle-retries", "hle-scm", "opt-slr", "slr-scm",
+	} {
+		if !strings.Contains(out.String(), scheme) {
+			t.Errorf("output missing scheme %q:\n%s", scheme, out.String())
+		}
+	}
+}
+
+func TestBuildSchemeRejectsUnknown(t *testing.T) {
+	if _, err := buildScheme(nil, "no-such-scheme", nil); err == nil {
+		t.Fatal("buildScheme accepted an unknown scheme name")
+	}
+}

@@ -11,7 +11,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"elision"
 )
@@ -23,16 +25,16 @@ const (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	fmt.Printf("%-12s %-6s %10s %10s %14s\n", "scheme", "lock", "spec%", "attempts", "ops/Mcycle")
+func run(out io.Writer) error {
+	fmt.Fprintf(out, "%-12s %-6s %10s %10s %14s\n", "scheme", "lock", "spec%", "attempts", "ops/Mcycle")
 	for _, lockName := range []string{"ttas", "mcs"} {
 		for _, schemeName := range []string{"standard", "hle", "hle-retries", "hle-scm", "opt-slr", "slr-scm"} {
-			if err := runOne(lockName, schemeName); err != nil {
+			if err := runOne(out, lockName, schemeName); err != nil {
 				return err
 			}
 		}
@@ -40,7 +42,7 @@ func run() error {
 	return nil
 }
 
-func runOne(lockName, schemeName string) error {
+func runOne(out io.Writer, lockName, schemeName string) error {
 	sys, err := elision.NewSystem(elision.Config{
 		Threads: threads, Seed: 5, Quantum: 64, MemoryWords: 1 << 21,
 	})
@@ -124,7 +126,7 @@ func runOne(lockName, schemeName string) error {
 			maxClock = c
 		}
 	}
-	fmt.Printf("%-12s %-6s %9.1f%% %10.2f %14.1f\n",
+	fmt.Fprintf(out, "%-12s %-6s %9.1f%% %10.2f %14.1f\n",
 		schemeName, lockName,
 		100*(1-stats.NonSpecFraction()),
 		stats.AttemptsPerOp(),

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRBSetRuns executes the red-black set workload in-process. run()
+// verifies the tree invariants and exact size after every scheme×lock
+// combination, so a nil error certifies structural correctness.
+func TestRBSetRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("rbset example failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"standard", "hle-retries", "slr-scm", "ttas", "mcs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Header + 2 locks × 6 schemes.
+	if got := strings.Count(out.String(), "\n"); got != 13 {
+		t.Errorf("expected 13 output lines (header + 12 combos), got %d:\n%s", got, out.String())
+	}
+}

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -84,5 +85,130 @@ func TestFinalReplays(t *testing.T) {
 func TestKindString(t *testing.T) {
 	if OpInsert.String() != "insert" || OpDelete.String() != "delete" || OpLookup.String() != "lookup" {
 		t.Fatal("Kind strings changed")
+	}
+}
+
+// TestVerifyEdgeCases drives the checker through the corner cases a fuzzing
+// harness leans on: empty histories, lookup-only divergences, and duplicate
+// virtual-time stamps resolved by record order.
+func TestVerifyEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		events  []Event
+		initial map[int64]int64
+		wantErr bool
+	}{
+		{
+			name: "empty history passes trivially",
+		},
+		{
+			name:    "empty history with initial state passes",
+			initial: map[int64]int64{1: 10, 2: 20},
+		},
+		{
+			name: "lookup-only divergence: phantom presence",
+			events: []Event{
+				{When: 1, Op: OpLookup, Key: 7, Found: true, Got: 70},
+			},
+			wantErr: true,
+		},
+		{
+			name:    "lookup-only divergence: phantom absence",
+			initial: map[int64]int64{7: 70},
+			events: []Event{
+				{When: 1, Op: OpLookup, Key: 7, Found: false},
+			},
+			wantErr: true,
+		},
+		{
+			name: "duplicate When ties replay in record order",
+			events: []Event{
+				// Both stamped t=5: a serial replay only works in record
+				// order (insert before lookup), which the stable sort keeps.
+				{When: 5, Op: OpInsert, Key: 1, Val: 9, Found: true},
+				{When: 5, Op: OpLookup, Key: 1, Found: true, Got: 9},
+			},
+		},
+		{
+			name: "duplicate When ties do not reorder to salvage a history",
+			events: []Event{
+				// Record order is lookup-then-insert; the lookup claims to
+				// see the insert's value, which no stable replay allows.
+				{When: 5, Op: OpLookup, Key: 1, Found: true, Got: 9},
+				{When: 5, Op: OpInsert, Key: 1, Val: 9, Found: true},
+			},
+			wantErr: true,
+		},
+		{
+			name: "insert reporting update on a fresh key",
+			events: []Event{
+				{When: 1, Op: OpInsert, Key: 3, Val: 1, Found: false},
+			},
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h History
+			for _, e := range tc.events {
+				h.Record(e)
+			}
+			err := h.Verify(tc.initial)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Verify = %v, wantErr=%v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestVerifyObjects(t *testing.T) {
+	var h History
+	// Same key on two objects: independent models.
+	h.Record(Event{When: 1, Obj: 0, Op: OpInsert, Key: 1, Val: 10, Found: true})
+	h.Record(Event{When: 2, Obj: 1, Op: OpLookup, Key: 1, Found: false})
+	h.Record(Event{When: 3, Obj: 1, Op: OpInsert, Key: 1, Val: 20, Found: true})
+	h.Record(Event{When: 4, Obj: 0, Op: OpLookup, Key: 1, Found: true, Got: 10})
+	if err := h.VerifyObjects(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Verify (single-object) must reject the same history: obj 1's lookup at
+	// t=2 misses a key obj 0 inserted at t=1.
+	if err := h.Verify(nil); err == nil {
+		t.Fatal("single-object Verify conflated objects without error")
+	}
+
+	fin := h.FinalObjects(nil)
+	if fin[0][1] != 10 || fin[1][1] != 20 {
+		t.Fatalf("FinalObjects = %v, want obj0{1:10} obj1{1:20}", fin)
+	}
+}
+
+func TestVerifyObjectsInitialState(t *testing.T) {
+	var h History
+	h.Record(Event{When: 1, Obj: 2, Op: OpDelete, Key: 5, Found: true})
+	if err := h.VerifyObjects(map[int]map[int64]int64{2: {5: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.VerifyObjects(nil); err == nil {
+		t.Fatal("per-object initial state ignored")
+	}
+}
+
+func TestVerifyErrorIncludesRepro(t *testing.T) {
+	var h History
+	h.SetRepro("mc1:scheme=opt-slr;lock=mcs;seed=0xdead")
+	h.Record(Event{When: 1, Op: OpLookup, Key: 1, Found: true, Got: 1})
+	err := h.Verify(nil)
+	if err == nil {
+		t.Fatal("expected violation")
+	}
+	if want := "mc1:scheme=opt-slr;lock=mcs;seed=0xdead"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q missing repro %q", err, want)
+	}
+	// Without a repro string the message must not grow an empty suffix.
+	var h2 History
+	h2.Record(Event{When: 1, Op: OpLookup, Key: 1, Found: true, Got: 1})
+	if err2 := h2.Verify(nil); err2 == nil || strings.Contains(err2.Error(), "[repro") {
+		t.Fatalf("repro suffix leaked into plain error: %v", err2)
 	}
 }

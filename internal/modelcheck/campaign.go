@@ -1,0 +1,250 @@
+package modelcheck
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// CampaignConfig parameterizes a fuzzing campaign over scheme×lock
+// combinations.
+type CampaignConfig struct {
+	// Schemes and Locks select the grid (nil selects all real ones).
+	Schemes []string
+	Locks   []string
+	// SeedBase is the first seed; case i of a combo uses SeedBase+i mixed
+	// with the combo's index so distinct combos explore distinct workloads.
+	SeedBase uint64
+	// Seeds is the number of cases per combo (pinned-seed mode).
+	Seeds int
+	// Deadline, when non-zero, switches to time-boxed mode: whole rounds of
+	// one seed per combo run until the deadline passes (the JSON stays
+	// deterministic per case; only the number of rounds is time-dependent).
+	Deadline time.Time
+	// Shrink failing cases before reporting.
+	Shrink bool
+	// Workers bounds host-side parallelism (0 = 4).
+	Workers int
+}
+
+// ComboSummary aggregates one scheme×lock cell of the campaign grid.
+type ComboSummary struct {
+	Scheme     string `json:"scheme"`
+	Lock       string `json:"lock"`
+	Cases      int    `json:"cases"`
+	Violations int    `json:"violations"`
+	Ops        uint64 `json:"ops"`
+	SpecOps    uint64 `json:"spec_ops"`
+	Fallbacks  uint64 `json:"fallbacks"`
+	Aborts     uint64 `json:"aborts"`
+	Deadlocks  int    `json:"deadlocks"`
+}
+
+// Failure is one reported violation with its replay handles.
+type Failure struct {
+	Repro       string `json:"repro"`
+	Oracle      string `json:"oracle"`
+	Detail      string `json:"detail"`
+	ShrunkRepro string `json:"shrunk_repro,omitempty"`
+}
+
+// Summary is the campaign's machine-readable result. It contains no wall
+// times, so a pinned-seed campaign marshals byte-identically across runs
+// and hosts.
+type Summary struct {
+	SchemaVersion   int            `json:"schema_version"`
+	SeedBase        uint64         `json:"seed_base"`
+	SeedsPerCombo   int            `json:"seeds_per_combo"`
+	Combos          []ComboSummary `json:"combos"`
+	TotalCases      int            `json:"total_cases"`
+	TotalViolations int            `json:"total_violations"`
+	Failures        []Failure      `json:"failures"`
+	Mutants         []MutantResult `json:"mutants,omitempty"`
+}
+
+// SummarySchemaVersion is bumped on any incompatible Summary change.
+const SummarySchemaVersion = 1
+
+// comboSeed decorrelates the seed streams of distinct combos: adjacent raw
+// seeds on the same combo stay adjacent (useful for -seed-base sweeps), but
+// no two combos ever replay each other's workload sequence.
+func comboSeed(base uint64, combo, i int) uint64 {
+	r := splitmix{s: base + uint64(combo)*0x9E3779B97F4A7C15}
+	return r.next() + uint64(i)
+}
+
+// RunCampaign fuzzes the configured grid and aggregates a Summary. Cases
+// run in parallel on host goroutines; results are folded in grid order, so
+// the Summary is a deterministic function of (config, code) in pinned-seed
+// mode.
+func RunCampaign(cfg CampaignConfig) Summary {
+	schemes := cfg.Schemes
+	if len(schemes) == 0 {
+		schemes = RealSchemes()
+	}
+	lockNames := cfg.Locks
+	if len(lockNames) == 0 {
+		lockNames = RealLocks()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	seeds := cfg.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+
+	type cell struct{ scheme, lock string }
+	var grid []cell
+	for _, s := range schemes {
+		for _, l := range lockNames {
+			grid = append(grid, cell{s, l})
+		}
+	}
+
+	sum := Summary{
+		SchemaVersion: SummarySchemaVersion,
+		SeedBase:      cfg.SeedBase,
+		SeedsPerCombo: seeds,
+		Combos:        make([]ComboSummary, len(grid)),
+		Failures:      []Failure{},
+	}
+	for i, g := range grid {
+		sum.Combos[i] = ComboSummary{Scheme: g.scheme, Lock: g.lock}
+	}
+
+	timeBoxed := !cfg.Deadline.IsZero()
+	round := 0
+	for {
+		n := seeds
+		if timeBoxed {
+			n = 1 // one seed per combo per round, then re-check the clock
+		}
+		results := make([]Result, len(grid)*n)
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range idx {
+					combo, i := j/n, j%n
+					g := grid[combo]
+					c := GenCase(g.scheme, g.lock, comboSeed(cfg.SeedBase, combo, round*n+i))
+					results[j] = Run(c)
+				}
+			}()
+		}
+		for j := range results {
+			idx <- j
+		}
+		close(idx)
+		wg.Wait()
+
+		for j, r := range results {
+			cs := &sum.Combos[j/n]
+			cs.Cases++
+			cs.Violations += len(r.Violations)
+			cs.Ops += r.Stats.Ops
+			cs.SpecOps += r.Stats.Spec
+			cs.Fallbacks += r.Stats.NonSpec
+			cs.Aborts += r.Stats.Aborts
+			if r.Deadlock {
+				cs.Deadlocks++
+			}
+			sum.TotalCases++
+			sum.TotalViolations += len(r.Violations)
+			if len(r.Violations) > 0 {
+				f := Failure{
+					Repro:  r.Case.Repro(),
+					Oracle: r.Violations[0].Oracle,
+					Detail: r.Violations[0].Detail,
+				}
+				if cfg.Shrink {
+					f.ShrunkRepro = Shrink(r.Case, nil).Repro()
+				}
+				sum.Failures = append(sum.Failures, f)
+			}
+		}
+		round++
+		if !timeBoxed || time.Now().After(cfg.Deadline) {
+			break
+		}
+	}
+	return sum
+}
+
+// Mutant is one deliberately broken scheme registered to prove the oracles
+// have teeth. The mutants package holds the registry; modelcheck only
+// defines the shape, keeping the dependency one-directional.
+type Mutant struct {
+	// Name identifies the mutant in summaries and reproducer strings.
+	Name string
+	// ProfileScheme is the real scheme whose oracle contract the mutant
+	// claims (and fails) to implement; workloads and oracle profiles are
+	// generated for it.
+	ProfileScheme string
+	// Lock is the lock name used for workload generation (the builder may
+	// substitute a broken lock).
+	Lock string
+	// SeedBudget is the pinned number of seeds within which the mutant must
+	// be caught.
+	SeedBudget int
+	// Build constructs the broken scheme (and the main lock it guards).
+	Build SchemeBuilder
+}
+
+// MutantResult reports whether (and how fast) the oracles caught a mutant.
+type MutantResult struct {
+	Name       string `json:"name"`
+	Caught     bool   `json:"caught"`
+	SeedsTried int    `json:"seeds_tried"`
+	SeedBudget int    `json:"seed_budget"`
+	Oracle     string `json:"oracle,omitempty"`
+	Repro      string `json:"repro,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// RunMutant fuzzes one mutant within its pinned seed budget, stopping at
+// the first catch. Seeds derive from seedBase exactly as a campaign combo's
+// do, so the budget is a regression-pinned property of the oracles.
+func RunMutant(mut Mutant, seedBase uint64, shrink bool) MutantResult {
+	res := MutantResult{Name: mut.Name, SeedBudget: mut.SeedBudget}
+	for i := 0; i < mut.SeedBudget; i++ {
+		c := GenCase(mut.ProfileScheme, mut.Lock, comboSeed(seedBase, 0, i))
+		c.Mutant = mut.Name
+		res.SeedsTried = i + 1
+		r := RunWith(c, mut.Build)
+		if len(r.Violations) == 0 {
+			continue
+		}
+		res.Caught = true
+		res.Oracle = r.Violations[0].Oracle
+		res.Detail = r.Violations[0].Detail
+		repro := c
+		if shrink {
+			repro = Shrink(c, mut.Build)
+		}
+		res.Repro = repro.Repro()
+		return res
+	}
+	return res
+}
+
+// RunMutants runs every registered mutant and reports the results in
+// registry order. An uncaught mutant is a checker regression, not a scheme
+// bug — callers should fail loudly.
+func RunMutants(muts []Mutant, seedBase uint64, shrink bool) ([]MutantResult, error) {
+	out := make([]MutantResult, 0, len(muts))
+	var firstErr error
+	for _, mu := range muts {
+		r := RunMutant(mu, seedBase, shrink)
+		out = append(out, r)
+		if !r.Caught && firstErr == nil {
+			firstErr = fmt.Errorf("modelcheck: mutant %q escaped its %d-seed budget (oracles lost their teeth)",
+				mu.Name, mu.SeedBudget)
+		}
+	}
+	return out, firstErr
+}

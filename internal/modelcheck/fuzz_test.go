@@ -1,0 +1,44 @@
+package modelcheck
+
+import (
+	"testing"
+)
+
+// fuzzCase runs one generated case and fails the test on any oracle
+// violation, logging the deterministic reproducer.
+func fuzzCase(t *testing.T, scheme, lock string, seed uint64) {
+	t.Helper()
+	r := Run(GenCase(scheme, lock, seed))
+	for _, v := range r.Violations {
+		t.Errorf("%s: %s", v.Oracle, v.Detail)
+	}
+}
+
+// FuzzSLRSafety drives the SLR commit-safety surface: opt-slr transactions
+// subscribe to the lock only at commit time, so the dangerous window —
+// committing state observed while a fallback thread held the lock — is
+// exactly what the commit-safety and serializability oracles watch. Run
+// with `go test -fuzz FuzzSLRSafety ./internal/modelcheck`.
+func FuzzSLRSafety(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 42, 0xdead, 0x1234567890abcdef} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		fuzzCase(t, "opt-slr", "ttas", seed)
+		fuzzCase(t, "opt-slr", "mcs", seed)
+	})
+}
+
+// FuzzSCMProgress drives the SCM serializing path: every aborted operation
+// must pass through an auxiliary lock (scm-structure oracle), abort counts
+// must respect the MaxRetries+1 bound, and no schedule may starve a thread
+// (progress oracle: the sim deadlock detector).
+func FuzzSCMProgress(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 7, 0xbeef, 0xfeedface} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		fuzzCase(t, "hle-scm", "mcs", seed)
+		fuzzCase(t, "slr-scm", "ticket-hle", seed)
+	})
+}

@@ -1,0 +1,106 @@
+package mutants
+
+import (
+	"testing"
+
+	"elision/internal/modelcheck"
+)
+
+// wantOracle pins which invariant is expected to kill each mutant: the
+// point of the suite is not merely "some oracle fired" but that the
+// *intended* safety property has teeth.
+var wantOracle = map[string]string{
+	"stale-slr":     modelcheck.OracleCommitSafety,
+	"scm-skip-aux":  modelcheck.OracleSCMStructure,
+	"unfair-ticket": modelcheck.OracleProgress,
+}
+
+// TestMutantsCaughtWithinBudget is the checker's own regression gate:
+// every registered mutant must be caught within its pinned seed budget,
+// by the oracle designed to catch it. Seeds derive deterministically from
+// the base, so a pass here is reproducible bit-for-bit.
+func TestMutantsCaughtWithinBudget(t *testing.T) {
+	results, err := modelcheck.RunMutants(All(), 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(All()) {
+		t.Fatalf("ran %d mutants, registry has %d", len(results), len(All()))
+	}
+	for _, r := range results {
+		if !r.Caught {
+			t.Errorf("mutant %s escaped its %d-seed budget", r.Name, r.SeedBudget)
+			continue
+		}
+		if r.SeedsTried > r.SeedBudget {
+			t.Errorf("mutant %s needed %d seeds, budget is %d", r.Name, r.SeedsTried, r.SeedBudget)
+		}
+		if want := wantOracle[r.Name]; r.Oracle != want {
+			t.Errorf("mutant %s caught by oracle %q, designed to be caught by %q (%s)",
+				r.Name, r.Oracle, want, r.Detail)
+		}
+		if r.Repro == "" {
+			t.Errorf("mutant %s caught without a reproducer", r.Name)
+		}
+	}
+}
+
+// TestMutantReproReplays: the reproducer emitted for a catch must replay to
+// a violation when resolved through the registry — the loop a developer
+// follows when a nightly campaign flags a failure.
+func TestMutantReproReplays(t *testing.T) {
+	res := modelcheck.RunMutant(All()[0], 1, false)
+	if !res.Caught {
+		t.Fatal("stale-slr not caught; cannot exercise replay")
+	}
+	c, err := modelcheck.ParseRepro(res.Repro)
+	if err != nil {
+		t.Fatalf("emitted repro does not parse: %v", err)
+	}
+	mu, ok := Lookup(c.Mutant)
+	if !ok {
+		t.Fatalf("repro names unknown mutant %q", c.Mutant)
+	}
+	r := modelcheck.RunWith(c, mu.Build)
+	if len(r.Violations) == 0 {
+		t.Fatal("replayed reproducer produced no violation")
+	}
+	if r.Violations[0].Oracle != res.Oracle {
+		t.Fatalf("replay flagged oracle %s, original catch was %s", r.Violations[0].Oracle, res.Oracle)
+	}
+}
+
+// TestShrinkMutantCatch: shrinking a caught case must keep it failing while
+// never growing any dimension, and the shrunk case must replay on its own.
+func TestShrinkMutantCatch(t *testing.T) {
+	mu, _ := Lookup("stale-slr")
+	res := modelcheck.RunMutant(mu, 1, false)
+	if !res.Caught {
+		t.Fatal("stale-slr not caught")
+	}
+	orig, err := modelcheck.ParseRepro(res.Repro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := modelcheck.Shrink(orig, mu.Build)
+	if small.Threads > orig.Threads || small.Ops > orig.Ops || small.Keys > orig.Keys {
+		t.Fatalf("shrink grew the case: %+v -> %+v", orig, small)
+	}
+	r := modelcheck.RunWith(small, mu.Build)
+	if len(r.Violations) == 0 {
+		t.Fatalf("shrunk case no longer fails: %s", small.Repro())
+	}
+	t.Logf("shrunk %s\n    -> %s (oracle %s)", res.Repro, small.Repro(), r.Violations[0].Oracle)
+}
+
+func TestLookup(t *testing.T) {
+	for _, mu := range All() {
+		got, ok := Lookup(mu.Name)
+		if !ok || got.Name != mu.Name {
+			t.Errorf("Lookup(%q) failed", mu.Name)
+		}
+	}
+	if _, ok := Lookup("no-such-mutant"); ok {
+		t.Error("Lookup accepted an unknown name")
+	}
+}

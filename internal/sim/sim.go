@@ -89,6 +89,16 @@ type Config struct {
 	// HTSlowdownPercent is the extra cost (percent) a proc pays while its
 	// core-sibling is active. 0 selects the default of 60.
 	HTSlowdownPercent int
+	// JitterCycles perturbs the schedule for adversarial testing: every
+	// scheduler dispatch charges the chosen Proc up to JitterCycles-1 extra
+	// cycles drawn from a machine-level deterministic RNG, shifting which
+	// Proc wins subsequent min-clock races. The perturbation models
+	// dispatch-latency noise a real machine exhibits (interrupts, frequency
+	// ramps): executions stay bit-for-bit deterministic functions of
+	// (Config, bodies), but different seeds explore different interleavings
+	// of the same workload. 0 (default) disables perturbation, leaving
+	// production schedules untouched.
+	JitterCycles uint64
 }
 
 // Machine is a simulated multiprocessor: a set of Procs sharing one virtual
@@ -105,6 +115,10 @@ type Machine struct {
 	// bodyErr records the first panic escaping a Proc body, re-raised by Run
 	// on the host goroutine so test failures point at the right stack.
 	bodyErr any
+	// jrng is the machine-level xorshift64* state driving schedule jitter
+	// (Config.JitterCycles). It is stepped only at dispatch, so zero-jitter
+	// machines never touch it and their schedules are unchanged.
+	jrng uint64
 	// otherMin caches the smallest effective time among runnable Procs other
 	// than the one currently holding the token (MaxUint64 when none). It is
 	// recomputed by dispatchNext when the token moves and can only decrease
@@ -145,6 +159,7 @@ func New(cfg Config) (*Machine, error) {
 	m := &Machine{
 		cfg:  cfg,
 		done: make(chan struct{}),
+		jrng: mixSeed(cfg.Seed, uint64(MaxProcs)+1),
 	}
 	m.procs = make([]*Proc, cfg.Procs)
 	for i := range m.procs {
@@ -316,6 +331,12 @@ func (m *Machine) dispatchNext() {
 		next.clock = next.wakeFloor
 	}
 	next.wakeFloor = 0
+	if j := m.cfg.JitterCycles; j > 0 {
+		// Charge the dispatch-latency perturbation before the token lands.
+		// The winner may now trail otherMin; its first Advance then yields,
+		// which is exactly the interleaving shift the jitter exists to cause.
+		next.clock += m.jitterRand() % j
+	}
 	m.otherMin = otherMin
 	next.state = stateRunning
 	next.wake <- cause
@@ -484,6 +505,16 @@ func (p *Proc) RandN(n uint64) uint64 {
 		return 0
 	}
 	return p.Rand64() % n
+}
+
+// jitterRand steps the machine's xorshift64* jitter generator.
+func (m *Machine) jitterRand() uint64 {
+	x := m.jrng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	m.jrng = x
+	return x * 0x2545F4914F6CDD1D
 }
 
 // mixSeed derives a per-proc RNG state from the machine seed (splitmix64).
