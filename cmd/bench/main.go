@@ -7,6 +7,7 @@
 //	go run ./cmd/bench -out BENCH_simulator.json
 //	go run ./cmd/bench -compare old.json -out new.json   # embed baseline + ratios
 //	go run ./cmd/bench -reproduce                   # also time the quick figure suite
+//	go run ./cmd/bench -j 8                         # pin the campaign fleet's workers
 //
 // Every workload is a deterministic function of its seed: the JSON records
 // the simulated cycles and transactions per run alongside the host-time
@@ -24,6 +25,7 @@ import (
 	"runtime"
 	"time"
 
+	"elision/internal/fleet"
 	"elision/internal/harness"
 	"elision/internal/sim"
 	"elision/internal/stamp"
@@ -58,12 +60,30 @@ type Measurement struct {
 	AllocImprovement    float64 `json:"alloc_improvement,omitempty"`
 }
 
+// CampaignMetrics reports the fleet's campaign-level throughput: a fixed
+// grid of benchmark points run through a pooled-instance Runner, measuring
+// how fast whole simulations (and their simulated transactions) retire per
+// host second, plus the prefill snapshot/restore hit rate.
+type CampaignMetrics struct {
+	Workers        int     `json:"workers"`
+	Points         int     `json:"points"`
+	WallMs         float64 `json:"wall_ms"`
+	SimsPerSec     float64 `json:"sims_per_sec"`
+	TxnsPerSec     float64 `json:"txns_per_sec"`
+	PrefillHits    uint64  `json:"prefill_hits"`
+	PrefillMisses  uint64  `json:"prefill_misses"`
+	PrefillHitRate float64 `json:"prefill_hit_rate"`
+}
+
 // Report is the top-level BENCH_simulator.json document.
 type Report struct {
 	Schema     string        `json:"schema"`
 	GoVersion  string        `json:"go_version"`
 	Iterations int           `json:"iterations"`
 	Workloads  []Measurement `json:"workloads"`
+	// Campaign is the fleet campaign-throughput measurement (CI smoke-checks
+	// its fields, so it is always present).
+	Campaign CampaignMetrics `json:"campaign"`
 	// ReproduceQuickWallMs is the wall time of the in-process quick figure
 	// suite (the same work as `reproduce -quick`, minus file output);
 	// present only when -reproduce is given.
@@ -175,6 +195,60 @@ func measure(w Workload, iters int) Measurement {
 	return m
 }
 
+// campaignGrid is the pinned fleet-throughput campaign: both structures
+// under four schemes and two locks at one geometry, so each structure's
+// prefill key is shared by eight points (2 misses, 14 restores at any -j).
+func campaignGrid() []harness.DSConfig {
+	base := harness.DSConfig{
+		Threads: 8, Size: 128, Mix: harness.MixModerate,
+		BudgetCycles: 400_000, Seed: 42, Quantum: 128,
+	}
+	var grid []harness.DSConfig
+	for _, st := range []harness.Structure{harness.StructTree, harness.StructHash} {
+		for _, scheme := range []harness.SchemeID{harness.SchemeStandard, harness.SchemeHLE, harness.SchemeOptSLR, harness.SchemeHLESCM} {
+			for _, lock := range []harness.LockID{harness.LockTTAS, harness.LockMCS} {
+				c := base
+				c.Structure, c.Scheme, c.Lock = st, scheme, lock
+				grid = append(grid, c)
+			}
+		}
+	}
+	return grid
+}
+
+// measureCampaign runs the campaign grid on a fresh pooled-instance Runner
+// and distills the fleet-level throughput numbers.
+func measureCampaign(fc fleet.Config) CampaignMetrics {
+	grid := campaignGrid()
+	r := harness.NewRunner()
+	r.Workers = fc.Workers
+	r.Shards = fc.Shards
+	start := time.Now()
+	results := r.RunAll(grid)
+	wall := time.Since(start)
+
+	var txns uint64
+	for _, res := range results {
+		txns += res.Stats.Attempts
+	}
+	hits, misses := r.PrefillStats()
+	m := CampaignMetrics{
+		Workers:       fc.WorkerCount(len(grid)),
+		Points:        len(grid),
+		WallMs:        float64(wall.Nanoseconds()) / 1e6,
+		PrefillHits:   hits,
+		PrefillMisses: misses,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		m.SimsPerSec = float64(len(grid)) / secs
+		m.TxnsPerSec = float64(txns) / secs
+	}
+	if total := hits + misses; total > 0 {
+		m.PrefillHitRate = float64(hits) / float64(total)
+	}
+	return m
+}
+
 // reproduceQuick runs the quick figure suite in-process and returns its
 // wall time — the headline "how long does a full -quick reproduction take"
 // number, without file I/O noise.
@@ -207,6 +281,8 @@ func run(args []string, stdout io.Writer) error {
 	compare := fs.String("compare", "", "baseline BENCH_simulator.json to embed and compute ratios against")
 	iters := fs.Int("iters", 5, "measured iterations per workload (after one warmup)")
 	repro := fs.Bool("reproduce", false, "also time the in-process quick figure suite")
+	j := fs.Int("j", 0, "parallel fleet workers for the campaign measurement (0 = all host CPUs)")
+	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,6 +291,10 @@ func run(args []string, stdout io.Writer) error {
 	// the very end of the run — reject it up front.
 	if *iters < 1 {
 		return fmt.Errorf("bench: -iters must be >= 1 (got %d)", *iters)
+	}
+	fc, err := fleet.Flags(*j, *shards)
+	if err != nil {
+		return err
 	}
 
 	var baseline map[string]Measurement
@@ -249,6 +329,10 @@ func run(args []string, stdout io.Writer) error {
 		rep.Workloads = append(rep.Workloads, m)
 		fmt.Fprintf(os.Stderr, " %.1fms/op, %.0f allocs/op\n", m.NsPerOp/1e6, m.AllocsPerOp)
 	}
+	fmt.Fprintf(os.Stderr, "bench: campaign (%d points)...", len(campaignGrid()))
+	rep.Campaign = measureCampaign(fc)
+	fmt.Fprintf(os.Stderr, " %.1f sims/s, %.0f txns/s, prefill hit rate %.0f%%\n",
+		rep.Campaign.SimsPerSec, rep.Campaign.TxnsPerSec, 100*rep.Campaign.PrefillHitRate)
 	if *repro {
 		d := reproduceQuick()
 		rep.ReproduceQuickWallMs = float64(d.Nanoseconds()) / 1e6

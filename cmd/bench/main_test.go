@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"elision/internal/fleet"
 )
 
 // TestRejectsBadIters: a non-positive -iters used to run the whole suite
@@ -28,6 +30,38 @@ func TestRejectsMalformedFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-no-such-flag"}, &out); err == nil {
 		t.Fatal("run accepted an unknown flag")
+	}
+}
+
+// TestRejectsBadFleetFlags: negative -j / -shards exit non-zero before any
+// workload runs.
+func TestRejectsBadFleetFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-j", "-1"}, &out); err == nil || !strings.Contains(err.Error(), "-j") {
+		t.Fatalf("run(-j -1) = %v, want -j complaint", err)
+	}
+	if err := run([]string{"-shards", "-2"}, &out); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("run(-shards -2) = %v, want -shards complaint", err)
+	}
+}
+
+// TestCampaignMetricsPopulated: the campaign measurement must report
+// non-zero throughput and the expected prefill-restore profile (two cold
+// fills — one per structure — and a hit for every other point).
+func TestCampaignMetricsPopulated(t *testing.T) {
+	m := measureCampaign(fleet.Config{Workers: 4})
+	if m.Points != len(campaignGrid()) || m.Workers < 1 {
+		t.Fatalf("campaign geometry: %+v", m)
+	}
+	if m.SimsPerSec <= 0 || m.TxnsPerSec <= 0 || m.WallMs <= 0 {
+		t.Fatalf("campaign throughput not populated: %+v", m)
+	}
+	if m.PrefillMisses != 2 || m.PrefillHits != uint64(m.Points-2) {
+		t.Fatalf("prefill profile = %d hits / %d misses, want %d/2",
+			m.PrefillHits, m.PrefillMisses, m.Points-2)
+	}
+	if m.PrefillHitRate <= 0.5 {
+		t.Fatalf("prefill hit rate = %v, want > 0.5", m.PrefillHitRate)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"elision/internal/fleet"
 	"elision/internal/harness"
 	"elision/internal/obs/causality"
 )
@@ -75,7 +76,13 @@ func run(args []string, stdout io.Writer) error {
 	lock := fs.String("lock", "", "restrict the panel to one lock (e.g. mcs, ttas, ticket-hle)")
 	budget := fs.Uint64("budget", 0, "virtual-cycle budget per thread (0 = scale default)")
 	gap := fs.Uint64("gap", 0, "epoch gap cycles (0 = engine default)")
+	j := fs.Int("j", 0, "parallel fleet workers (0 = all host CPUs)")
+	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fc, err := fleet.Flags(*j, *shards)
+	if err != nil {
 		return err
 	}
 
@@ -117,7 +124,7 @@ func run(args []string, stdout io.Writer) error {
 		panel = sel
 	}
 
-	d := harness.Diagnose(sc, panel, causality.Config{GapCycles: *gap})
+	d := harness.Diagnose(sc, panel, causality.Config{GapCycles: *gap}, fc)
 
 	if *jsonOut != "-" {
 		d.WriteText(stdout)

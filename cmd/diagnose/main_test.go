@@ -122,6 +122,22 @@ func TestRejectsMalformedFlags(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}, &out); err == nil {
 		t.Fatal("run accepted an unknown flag")
 	}
+	if err := run([]string{"-j", "-1"}, &out); err == nil {
+		t.Fatal("run accepted -j -1")
+	}
+	if err := run([]string{"-shards", "-3"}, &out); err == nil {
+		t.Fatal("run accepted -shards -3")
+	}
+}
+
+// TestDiagnoseWorkerInvariance: the verdict document is byte-identical at
+// -j 1 and -j 8.
+func TestDiagnoseWorkerInvariance(t *testing.T) {
+	_, v1 := runToFiles(t, "-j", "1")
+	_, v8 := runToFiles(t, "-j", "8")
+	if !bytes.Equal(v1, v8) {
+		t.Fatal("diagnose verdict differs between -j 1 and -j 8")
+	}
 }
 
 // TestDiagnosePanelFilter checks -scheme/-lock restriction, including a

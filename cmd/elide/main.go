@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"elision/internal/fleet"
 	"elision/internal/harness"
 	"elision/internal/htm"
 	"elision/internal/obs"
@@ -22,28 +23,39 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	threads := flag.Int("threads", 8, "simulated hardware threads")
-	schemeName := flag.String("scheme", "hle", "scheme: standard|hle|hle-retries|hle-scm|opt-slr|slr-scm|hle-scm-grouped|slr-scm-grouped|nolock")
-	lockName := flag.String("lock", "ttas", "lock: ttas|ttas-backoff|mcs|ticket-hle|clh-hle")
-	structure := flag.String("structure", "rbtree", "data structure: rbtree|hashtable")
-	size := flag.Int("size", 1024, "steady-state element count")
-	mixFlag := flag.String("mix", "10,10", "insertPct,deletePct (rest lookups)")
-	budget := flag.Uint64("budget", 2_000_000, "virtual-cycle budget per thread")
-	seed := flag.Uint64("seed", 42, "random seed")
-	smt := flag.Bool("smt", false, "4-core/8-hyperthread topology")
-	breakdown := flag.Bool("abort-breakdown", false, "print the abort-cause histogram")
-	traceJSON := flag.String("trace-json", "", "write the run's Chrome/Perfetto trace-event JSON to this file")
-	metricsOut := flag.String("metrics", "", "write the metrics report to this file ('-' = stdout; a .csv suffix selects CSV)")
-	hotLines := flag.Int("hot-lines", 0, "print the top-N conflict hot lines")
-	causal := flag.Bool("causality", false, "attach the abort-causality engine: print the speculation-health scorecard and add cascade flow arrows to -trace-json")
-	flag.Parse()
+func run(args []string) error {
+	fs := flag.NewFlagSet("elide", flag.ContinueOnError)
+	threads := fs.Int("threads", 8, "simulated hardware threads")
+	schemeName := fs.String("scheme", "hle", "scheme: standard|hle|hle-retries|hle-scm|opt-slr|slr-scm|hle-scm-grouped|slr-scm-grouped|nolock")
+	lockName := fs.String("lock", "ttas", "lock: ttas|ttas-backoff|mcs|ticket-hle|clh-hle")
+	structure := fs.String("structure", "rbtree", "data structure: rbtree|hashtable")
+	size := fs.Int("size", 1024, "steady-state element count")
+	mixFlag := fs.String("mix", "10,10", "insertPct,deletePct (rest lookups)")
+	budget := fs.Uint64("budget", 2_000_000, "virtual-cycle budget per thread")
+	seed := fs.Uint64("seed", 42, "random seed")
+	smt := fs.Bool("smt", false, "4-core/8-hyperthread topology")
+	breakdown := fs.Bool("abort-breakdown", false, "print the abort-cause histogram")
+	traceJSON := fs.String("trace-json", "", "write the run's Chrome/Perfetto trace-event JSON to this file")
+	metricsOut := fs.String("metrics", "", "write the metrics report to this file ('-' = stdout; a .csv suffix selects CSV)")
+	hotLines := fs.Int("hot-lines", 0, "print the top-N conflict hot lines")
+	causal := fs.Bool("causality", false, "attach the abort-causality engine: print the speculation-health scorecard and add cascade flow arrows to -trace-json")
+	j := fs.Int("j", 0, "accepted for cmd-tool uniformity; a single point always runs on one worker")
+	shards := fs.Int("shards", 0, "accepted for cmd-tool uniformity; a single point always runs on one worker")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("elide: unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if _, err := fleet.Flags(*j, *shards); err != nil {
+		return err
+	}
 
 	var mix harness.Mix
 	if _, err := fmt.Sscanf(strings.ReplaceAll(*mixFlag, ",", " "), "%d %d", &mix.InsertPct, &mix.DeletePct); err != nil {

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRejectsBadFleetFlags: elide accepts -j/-shards for cmd-tool
+// uniformity and validates them like every other tool.
+func TestRejectsBadFleetFlags(t *testing.T) {
+	if err := run([]string{"-j", "-1"}); err == nil || !strings.Contains(err.Error(), "-j") {
+		t.Fatalf("run(-j -1) = %v, want -j complaint", err)
+	}
+	if err := run([]string{"-shards", "-2"}); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("run(-shards -2) = %v, want -shards complaint", err)
+	}
+	if err := run([]string{"-structure", "splay"}); err == nil {
+		t.Fatal("run accepted an unknown structure")
+	}
+	if err := run([]string{"stray"}); err == nil {
+		t.Fatal("run accepted a stray positional argument")
+	}
+}

@@ -3,37 +3,53 @@
 //	lemming -fig 2   # attempts/op and non-speculative fraction vs tree size
 //	lemming -fig 3   # per-time-slot throughput and serialization dynamics
 //
-// Use -quick for a fast small sweep, -csv for machine-readable output.
+// Use -quick for a fast small sweep, -csv for machine-readable output,
+// -j N to pin the fleet's worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"elision/internal/fleet"
 	"elision/internal/harness"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fig := flag.Int("fig", 2, "figure to reproduce (2 or 3)")
-	quick := flag.Bool("quick", false, "small fast sweep instead of the full one")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	budget := flag.Uint64("budget", 0, "virtual-cycle budget per thread (0 = scale default)")
-	timeline := flag.Bool("timeline", false, "render ASCII abort/lock timelines around the lemming trigger")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lemming", flag.ContinueOnError)
+	fig := fs.Int("fig", 2, "figure to reproduce (2 or 3)")
+	quick := fs.Bool("quick", false, "small fast sweep instead of the full one")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	budget := fs.Uint64("budget", 0, "virtual-cycle budget per thread (0 = scale default)")
+	timeline := fs.Bool("timeline", false, "render ASCII abort/lock timelines around the lemming trigger")
+	j := fs.Int("j", 0, "parallel fleet workers (0 = all host CPUs)")
+	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("lemming: unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	fc, err := fleet.Flags(*j, *shards)
+	if err != nil {
+		return err
+	}
 
 	if *timeline {
 		sc := harness.DefaultScale()
 		sc.Budget = 300_000
 		for _, lock := range []harness.LockID{harness.LockTTAS, harness.LockMCS} {
-			fmt.Println(harness.LemmingTimeline(sc, lock))
+			fmt.Fprintln(stdout, harness.LemmingTimeline(sc, lock))
 		}
 		return nil
 	}
@@ -46,12 +62,9 @@ func run() error {
 		sc.Budget = *budget
 	}
 	r := harness.NewRunner()
-	r.Progress = func(done, total int) {
-		fmt.Fprintf(os.Stderr, "\r%d/%d points", done, total)
-		if done == total {
-			fmt.Fprintln(os.Stderr)
-		}
-	}
+	r.Workers = fc.Workers
+	r.Shards = fc.Shards
+	r.Progress = fleet.TTYProgress(os.Stderr, "points")
 
 	var tables []harness.Table
 	switch *fig {
@@ -64,9 +77,9 @@ func run() error {
 	}
 	for i := range tables {
 		if *csv {
-			tables[i].RenderCSV(os.Stdout)
+			tables[i].RenderCSV(stdout)
 		} else {
-			tables[i].Render(os.Stdout)
+			tables[i].Render(stdout)
 		}
 	}
 	return nil

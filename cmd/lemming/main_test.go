@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRejectsBadFleetFlags: negative -j / -shards are hard errors before
+// any point runs.
+func TestRejectsBadFleetFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-j", "-1"}, &out); err == nil || !strings.Contains(err.Error(), "-j") {
+		t.Fatalf("run(-j -1) = %v, want -j complaint", err)
+	}
+	if err := run([]string{"-shards", "-2"}, &out); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("run(-shards -2) = %v, want -shards complaint", err)
+	}
+	if err := run([]string{"-fig", "5"}, &out); err == nil {
+		t.Fatal("run accepted -fig 5")
+	}
+}

@@ -53,6 +53,9 @@ func TestFlagValidation(t *testing.T) {
 		{"-locks", "ttas,no-such-lock"},
 		{"stray-positional"},
 		{"-repro", "not-a-repro"},
+		{"-j", "-1"},
+		{"-shards", "-4"},
+		{"-workers", "-2"},
 	} {
 		err := run(args, &out)
 		if err == nil || errors.Is(err, errFailed) {
@@ -101,5 +104,22 @@ func TestCampaignSubsetDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("identical invocations produced different JSON summaries")
+	}
+}
+
+// TestCampaignJSONWorkerInvariance: -j 1 and -j 8 (with mismatched shard
+// geometry) must emit byte-identical campaign JSON — the fleet's
+// determinism contract at the CLI surface.
+func TestCampaignJSONWorkerInvariance(t *testing.T) {
+	base := []string{"-seeds", "3", "-schemes", "hle,opt-slr", "-locks", "ttas,mcs", "-json", "-"}
+	var a, b bytes.Buffer
+	if err := run(append([]string{"-j", "1"}, base...), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-j", "8", "-shards", "5"}, base...), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("-j 1 and -j 8 produced different JSON summaries")
 	}
 }

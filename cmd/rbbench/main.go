@@ -12,37 +12,53 @@
 //	rbbench -fine          # coarse-vs-fine-grained elision comparison
 //	rbbench -fairness      # fair-lock fairness under each scheme
 //
-// Use -quick for a fast small sweep, -csv for machine-readable output.
+// Use -quick for a fast small sweep, -csv for machine-readable output,
+// -j N to pin the fleet's worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"elision/internal/fleet"
 	"elision/internal/harness"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fig := flag.Int("fig", 9, "figure to reproduce (4, 9, 10, or 0 for the hash table)")
-	quick := flag.Bool("quick", false, "small fast sweep instead of the full one")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	budget := flag.Uint64("budget", 0, "virtual-cycle budget per thread (0 = scale default)")
-	smt := flag.Bool("smt", false, "run under the 4-core/8-hyperthread topology")
-	analysis := flag.Bool("analysis", false, "emit the deferred attempts/speculation analysis instead of a figure")
-	groups := flag.Bool("groups", false, "emit the grouped-SCM ablation instead of a figure")
-	fine := flag.Bool("fine", false, "emit the fine-grained (PARSEC observation) comparison instead of a figure")
-	fairness := flag.Bool("fairness", false, "emit the fair-lock fairness comparison instead of a figure")
-	sensitivity := flag.Bool("sensitivity", false, "emit the cost-model miss:hit sensitivity sweep instead of a figure")
-	fairlocks := flag.Bool("fairlocks", false, "emit the ticket/CLH lemming verification instead of a figure")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rbbench", flag.ContinueOnError)
+	fig := fs.Int("fig", 9, "figure to reproduce (4, 9, 10, or 0 for the hash table)")
+	quick := fs.Bool("quick", false, "small fast sweep instead of the full one")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	budget := fs.Uint64("budget", 0, "virtual-cycle budget per thread (0 = scale default)")
+	smt := fs.Bool("smt", false, "run under the 4-core/8-hyperthread topology")
+	analysis := fs.Bool("analysis", false, "emit the deferred attempts/speculation analysis instead of a figure")
+	groups := fs.Bool("groups", false, "emit the grouped-SCM ablation instead of a figure")
+	fine := fs.Bool("fine", false, "emit the fine-grained (PARSEC observation) comparison instead of a figure")
+	fairness := fs.Bool("fairness", false, "emit the fair-lock fairness comparison instead of a figure")
+	sensitivity := fs.Bool("sensitivity", false, "emit the cost-model miss:hit sensitivity sweep instead of a figure")
+	fairlocks := fs.Bool("fairlocks", false, "emit the ticket/CLH lemming verification instead of a figure")
+	j := fs.Int("j", 0, "parallel fleet workers (0 = all host CPUs)")
+	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("rbbench: unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	fc, err := fleet.Flags(*j, *shards)
+	if err != nil {
+		return err
+	}
 
 	sc := harness.DefaultScale()
 	if *quick {
@@ -52,12 +68,9 @@ func run() error {
 		sc.Budget = *budget
 	}
 	r := harness.NewRunner()
-	r.Progress = func(done, total int) {
-		fmt.Fprintf(os.Stderr, "\r%d/%d points", done, total)
-		if done == total {
-			fmt.Fprintln(os.Stderr)
-		}
-	}
+	r.Workers = fc.Workers
+	r.Shards = fc.Shards
+	r.Progress = fleet.TTYProgress(os.Stderr, "points")
 
 	var tables []harness.Table
 	switch {
@@ -88,9 +101,9 @@ func run() error {
 	}
 	for i := range tables {
 		if *csv {
-			tables[i].RenderCSV(os.Stdout)
+			tables[i].RenderCSV(stdout)
 		} else {
-			tables[i].Render(os.Stdout)
+			tables[i].Render(stdout)
 		}
 	}
 	return nil

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRejectsBadFleetFlags: negative -j / -shards are hard errors before
+// any point runs.
+func TestRejectsBadFleetFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-j", "-1"}, &out); err == nil || !strings.Contains(err.Error(), "-j") {
+		t.Fatalf("run(-j -1) = %v, want -j complaint", err)
+	}
+	if err := run([]string{"-shards", "-2"}, &out); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("run(-shards -2) = %v, want -shards complaint", err)
+	}
+	if err := run([]string{"stray"}, &out); err == nil {
+		t.Fatal("run accepted a stray positional argument")
+	}
+	if err := run([]string{"-fig", "7"}, &out); err == nil {
+		t.Fatal("run accepted -fig 7")
+	}
+}
+
+// TestQuickFigureWorkerInvariance: the rendered CSV is byte-identical at
+// -j 1 and -j 8.
+func TestQuickFigureWorkerInvariance(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-quick", "-csv", "-fig", "4", "-j", "1"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-csv", "-fig", "4", "-j", "8", "-shards", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("-j 1 and -j 8 rendered different CSV")
+	}
+}

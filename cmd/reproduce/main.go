@@ -4,6 +4,7 @@
 //
 //	go run ./cmd/reproduce            # full scale (tens of minutes)
 //	go run ./cmd/reproduce -quick     # reduced scale (about a minute)
+//	go run ./cmd/reproduce -j 8       # pin the fleet to 8 workers
 package main
 
 import (
@@ -12,10 +13,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"time"
 
+	"elision/internal/fleet"
 	"elision/internal/harness"
 	"elision/internal/htm"
 	"elision/internal/obs"
@@ -23,19 +24,31 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	quick := flag.Bool("quick", false, "reduced scale")
-	outDir := flag.String("out", "results", "output directory")
-	traceJSON := flag.String("trace-json", "", "write the §4 lemming run's Chrome/Perfetto trace-event JSON to this file")
-	metricsOut := flag.String("metrics", "", "write the §4 lemming run's metrics report to this file ('-' = stdout; a .csv suffix selects CSV)")
-	hotLines := flag.Int("hot-lines", 0, "print the §4 lemming run's top-N conflict hot lines")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("reproduce", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced scale")
+	outDir := fs.String("out", "results", "output directory")
+	traceJSON := fs.String("trace-json", "", "write the §4 lemming run's Chrome/Perfetto trace-event JSON to this file")
+	metricsOut := fs.String("metrics", "", "write the §4 lemming run's metrics report to this file ('-' = stdout; a .csv suffix selects CSV)")
+	hotLines := fs.Int("hot-lines", 0, "print the §4 lemming run's top-N conflict hot lines")
+	j := fs.Int("j", 0, "parallel fleet workers (0 = all host CPUs)")
+	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("reproduce: unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	fc, err := fleet.Flags(*j, *shards)
+	if err != nil {
+		return err
+	}
 
 	sc := harness.DefaultScale()
 	ssc := harness.DefaultStampScale()
@@ -54,12 +67,9 @@ func run() error {
 	}
 
 	r := harness.NewRunner()
-	r.Progress = func(done, total int) {
-		fmt.Fprintf(os.Stderr, "\r  %d/%d points", done, total)
-		if done == total {
-			fmt.Fprintln(os.Stderr)
-		}
-	}
+	r.Workers = fc.Workers
+	r.Shards = fc.Shards
+	r.Progress = fleet.TTYProgress(os.Stderr, "points")
 
 	write := func(name string, tables []harness.Table) error {
 		f, err := os.Create(filepath.Join(*outDir, name+".txt"))
@@ -67,7 +77,7 @@ func run() error {
 			return err
 		}
 		defer f.Close()
-		w := io.MultiWriter(os.Stdout, f)
+		w := io.MultiWriter(stdout, f)
 		for i := range tables {
 			tables[i].Render(w)
 		}
@@ -94,7 +104,7 @@ func run() error {
 		{"figure10", func() ([]harness.Table, error) { return harness.Figure10(r, sc), nil }},
 		{"hashtable", func() ([]harness.Table, error) { return harness.HashTableComparison(r, sc), nil }},
 		{"figure11", func() ([]harness.Table, error) {
-			return harness.Figure11(ssc, runtime.GOMAXPROCS(0), r.Progress)
+			return harness.Figure11(ssc, fc.Workers, r.Progress)
 		}},
 		{"analysis", func() ([]harness.Table, error) { return harness.AnalysisTables(r, sc), nil }},
 		{"figure9-smt", func() ([]harness.Table, error) { return harness.SMTFigure9(r, sc, 4), nil }},

@@ -6,26 +6,40 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"runtime"
+	"strings"
 
+	"elision/internal/fleet"
 	"elision/internal/harness"
 	"elision/internal/stamp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	quick := flag.Bool("quick", false, "smaller inputs for a fast run")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	threads := flag.Int("threads", 8, "simulated hardware threads")
-	factor := flag.Int("factor", 0, "input-size factor (0 = scale default)")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stampbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "smaller inputs for a fast run")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	threads := fs.Int("threads", 8, "simulated hardware threads")
+	factor := fs.Int("factor", 0, "input-size factor (0 = scale default)")
+	j := fs.Int("j", 0, "parallel fleet workers (0 = all host CPUs)")
+	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("stampbench: unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	fc, err := fleet.Flags(*j, *shards)
+	if err != nil {
+		return err
+	}
 
 	sc := harness.DefaultStampScale()
 	if *quick {
@@ -36,20 +50,15 @@ func run() error {
 		sc.Factor = stamp.Factor(*factor)
 	}
 
-	tables, err := harness.Figure11(sc, runtime.GOMAXPROCS(0), func(done, total int) {
-		fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
-		if done == total {
-			fmt.Fprintln(os.Stderr)
-		}
-	})
+	tables, err := harness.Figure11(sc, fc.Workers, fleet.TTYProgress(os.Stderr, "runs"))
 	if err != nil {
 		return err
 	}
 	for i := range tables {
 		if *csv {
-			tables[i].RenderCSV(os.Stdout)
+			tables[i].RenderCSV(stdout)
 		} else {
-			tables[i].Render(os.Stdout)
+			tables[i].Render(stdout)
 		}
 	}
 	return nil

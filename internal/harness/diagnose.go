@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"elision/internal/fleet"
 	"elision/internal/obs/causality"
 )
 
@@ -95,8 +96,10 @@ func DiagnosePointRun(cfg DSConfig, ccfg causality.Config) DiagnoseResult {
 }
 
 // Diagnose runs the panel on the scale's §4 serialization-dynamics workload
-// and assembles the verdict document.
-func Diagnose(sc Scale, panel []DiagnosePoint, ccfg causality.Config) Diagnosis {
+// and assembles the verdict document. Points run in parallel on the fleet
+// (fc zero value = one worker per host CPU); Runs keeps the panel's order
+// regardless of completion order.
+func Diagnose(sc Scale, panel []DiagnosePoint, ccfg causality.Config, fc fleet.Config) Diagnosis {
 	ref := sc.Section4Config(SchemeHLE, LockMCS)
 	d := Diagnosis{
 		SchemaVersion: DiagnoseSchemaVersion,
@@ -105,11 +108,11 @@ func Diagnose(sc Scale, panel []DiagnosePoint, ccfg causality.Config) Diagnosis 
 		Threads:      ref.Threads,
 		BudgetCycles: ref.BudgetCycles,
 		Seed:         ref.Seed,
-		Runs:         make([]DiagnoseResult, 0, len(panel)),
 	}
-	for _, p := range panel {
-		d.Runs = append(d.Runs, DiagnosePointRun(sc.Section4Config(p.Scheme, p.Lock), ccfg))
-	}
+	d.Runs = fleet.Collect(fc, len(panel), func(i int) DiagnoseResult {
+		p := panel[i]
+		return DiagnosePointRun(sc.Section4Config(p.Scheme, p.Lock), ccfg)
+	})
 	return d
 }
 

@@ -2,8 +2,8 @@ package harness
 
 import (
 	"fmt"
-	"sync"
 
+	"elision/internal/fleet"
 	"elision/internal/stamp"
 )
 
@@ -47,42 +47,23 @@ func Figure11(sc StampScale, workers int, progress func(done, total int)) ([]Tab
 		}
 	}
 
+	// Fleet fan-out with index-keyed results: the first error in input order
+	// is reported regardless of completion order.
+	type runOut struct {
+		res stamp.Result
+		err error
+	}
+	outs := fleet.Collect(fleet.Config{Workers: workers, Progress: progress}, len(cfgs),
+		func(i int) runOut {
+			res, err := stamp.Run(cfgs[i])
+			return runOut{res, err}
+		})
 	results := make(map[stamp.Config]stamp.Result, len(cfgs))
-	var mu sync.Mutex
-	var firstErr error
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan stamp.Config)
-	var wg sync.WaitGroup
-	done := 0
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for cfg := range jobs {
-				res, err := stamp.Run(cfg)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				results[cfg] = res
-				done++
-				d := done
-				mu.Unlock()
-				if progress != nil {
-					progress(d, len(cfgs))
-				}
-			}
-		}()
-	}
-	for _, c := range cfgs {
-		jobs <- c
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		results[cfgs[i]] = o.res
 	}
 
 	get := func(app string, s SchemeID, l LockID) stamp.Result {

@@ -12,15 +12,11 @@ package harness
 
 import (
 	"fmt"
-	"math/rand"
 
 	"elision/internal/core"
-	"elision/internal/hashtable"
 	"elision/internal/htm"
 	"elision/internal/locks"
 	"elision/internal/obs"
-	"elision/internal/rbtree"
-	"elision/internal/sim"
 	"elision/internal/trace"
 )
 
@@ -211,86 +207,9 @@ func RunDataStructure(cfg DSConfig) Result {
 // and tr (when non-nil) records the run's events for timelines and
 // Chrome-trace export. Instrumentation only reads the simulation, so an
 // observed run's virtual-time results equal the unobserved run's.
+//
+// Each call builds a throwaway Instance; campaigns reuse pooled instances
+// via Runner / fleet instead.
 func RunDataStructureObserved(cfg DSConfig, col *obs.Collector, tr *trace.Tracer) Result {
-	m := sim.MustNew(sim.Config{Procs: cfg.Threads, Seed: cfg.Seed, Quantum: cfg.Quantum, Cores: cfg.Cores})
-	hm := htm.NewMemory(m, htm.Config{Words: memoryWords(cfg)})
-	hm.SetCollector(col)
-	hm.SetTracer(tr)
-
-	var ds dataStructure
-	switch cfg.Structure {
-	case StructHash:
-		ds = hashtable.New(hm, cfg.Threads, bucketCount(cfg.Size))
-	default:
-		ds = rbtree.New(hm, cfg.Threads)
-	}
-
-	// Initial fill: random keys from a domain of size 2*Size until the
-	// structure holds Size elements (§4's methodology).
-	raw := htm.Raw{M: hm}
-	domain := uint64(2 * cfg.Size)
-	if domain == 0 {
-		domain = 2
-	}
-	rng := rand.New(rand.NewSource(int64(cfg.Seed) + 1))
-	for n := 0; n < cfg.Size; {
-		if ds.Insert(raw, rng.Int63n(int64(domain)), 1) {
-			n++
-		}
-	}
-
-	l := buildLock(hm, cfg.Lock, cfg.Threads)
-	s := core.Observe(buildScheme(hm, cfg.Scheme, l, cfg.Threads), col)
-	var lockLines []int
-	if lr, ok := l.(locks.LineReporter); ok {
-		lockLines = lr.LockLines()
-	}
-	col.SetLockLines(lockLines)
-
-	var stats core.Stats
-	var slots []Slot
-	if cfg.SlotCycles > 0 {
-		slots = make([]Slot, cfg.BudgetCycles/cfg.SlotCycles+1)
-	}
-	for i := 0; i < cfg.Threads; i++ {
-		m.Go(func(p *sim.Proc) {
-			for p.Clock() < cfg.BudgetCycles {
-				r := p.RandN(100)
-				key := int64(p.RandN(domain))
-				var o core.Outcome
-				switch {
-				case int(r) < cfg.Mix.InsertPct:
-					o = s.Critical(p, func(c htm.Ctx) { ds.Insert(c, key, 1) })
-				case int(r) < cfg.Mix.InsertPct+cfg.Mix.DeletePct:
-					o = s.Critical(p, func(c htm.Ctx) { ds.Delete(c, key) })
-				default:
-					o = s.Critical(p, func(c htm.Ctx) { ds.Lookup(c, key) })
-				}
-				stats.Add(o)
-				if cfg.SlotCycles > 0 {
-					idx := p.Clock() / cfg.SlotCycles
-					if idx >= uint64(len(slots)) {
-						idx = uint64(len(slots)) - 1
-					}
-					slots[idx].Ops++
-					if !o.Speculative {
-						slots[idx].NonSpec++
-					}
-				}
-			}
-		})
-	}
-	if err := m.Run(); err != nil {
-		panic(fmt.Sprintf("harness: %v (config %+v)", err, cfg))
-	}
-	var maxClock uint64
-	for i := 0; i < cfg.Threads; i++ {
-		if c := m.Proc(i).Clock(); c > maxClock {
-			maxClock = c
-		}
-	}
-	col.SetGauge("run_cycles", int64(maxClock))
-	col.SetGauge("run_threads", int64(cfg.Threads))
-	col.Finish(maxClock)
-	return Result{Config: cfg, Stats: stats, Cycles: maxClock, Slots: slots, LockLines: lockLines}
+	return NewInstance(nil).RunObserved(cfg, col, tr)
 }

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"elision/internal/core"
+	"elision/internal/hashtable"
+	"elision/internal/htm"
+	"elision/internal/locks"
+	"elision/internal/mem"
+	"elision/internal/obs"
+	"elision/internal/rbtree"
+	"elision/internal/sim"
+	"elision/internal/trace"
+)
+
+// fillKey identifies one deterministic initial fill: the filled memory
+// image is a pure function of the structure, its geometry (which also fixes
+// the simulated-memory layout through the per-proc allocator arenas) and
+// the fill seed. Every DSConfig sharing a key shares the image — scheme,
+// lock, mix, budget and scheduler parameters all apply after the fill.
+type fillKey struct {
+	structure Structure
+	threads   int
+	size      int
+	seed      uint64
+}
+
+// fillImage is one captured prefill: the allocated prefix of simulated
+// memory right after the initial fill, before any lock or scheme state is
+// allocated. Immutable once published.
+type fillImage struct {
+	words []int64
+	brk   mem.Addr
+}
+
+// FillCache shares prefill snapshots between pooled instances: the first
+// point of a fill-key pays the O(Size) insert replay and captures the
+// image; every later point restores it with a copy. Safe for concurrent
+// use by fleet workers.
+type FillCache struct {
+	mu    sync.RWMutex
+	snaps map[fillKey]*fillImage
+	hits  atomic.Uint64
+	miss  atomic.Uint64
+}
+
+// NewFillCache returns an empty prefill-snapshot cache.
+func NewFillCache() *FillCache {
+	return &FillCache{snaps: make(map[fillKey]*fillImage)}
+}
+
+// Stats reports how many prefetches were served from a snapshot (hits) vs
+// paid in full (misses) — the bench campaign's prefill-restore hit rate.
+func (fc *FillCache) Stats() (hits, misses uint64) {
+	return fc.hits.Load(), fc.miss.Load()
+}
+
+// lookup returns the snapshot for key, or nil.
+func (fc *FillCache) lookup(key fillKey) *fillImage {
+	fc.mu.RLock()
+	snap := fc.snaps[key]
+	fc.mu.RUnlock()
+	return snap
+}
+
+// publish stores a freshly captured snapshot. Two workers racing on the
+// same key capture identical images (the fill is deterministic), so the
+// first simply wins.
+func (fc *FillCache) publish(key fillKey, snap *fillImage) {
+	fc.mu.Lock()
+	if _, ok := fc.snaps[key]; !ok {
+		fc.snaps[key] = snap
+	}
+	fc.mu.Unlock()
+}
+
+// Instance is a poolable simulator: one sim.Machine plus one htm.Memory,
+// reset between benchmark points instead of rebuilt, with initial fills
+// restored from the shared FillCache instead of replayed. A fleet worker
+// owns one Instance for the life of a campaign. Results are bit-for-bit
+// those of a fresh build — asserted by the golden seed-digest tests and
+// TestInstanceReuseMatchesFresh.
+//
+// An Instance is not safe for concurrent use; each worker needs its own.
+type Instance struct {
+	m     *sim.Machine
+	hm    *htm.Memory
+	fills *FillCache // nil disables snapshot sharing
+}
+
+// NewInstance returns an empty instance drawing prefill snapshots from
+// fills (nil disables sharing; every point then pays a cold fill).
+func NewInstance(fills *FillCache) *Instance {
+	return &Instance{fills: fills}
+}
+
+// Run executes one benchmark point on the pooled simulator.
+func (in *Instance) Run(cfg DSConfig) Result {
+	return in.RunObserved(cfg, nil, nil)
+}
+
+// buildStructure constructs the benchmark container. Allocation order is
+// deterministic, so rebuilding on a reset store recreates the exact
+// addresses a prefill snapshot was captured with.
+func buildStructure(hm *htm.Memory, cfg DSConfig) dataStructure {
+	switch cfg.Structure {
+	case StructHash:
+		return hashtable.New(hm, cfg.Threads, bucketCount(cfg.Size))
+	default:
+		return rbtree.New(hm, cfg.Threads)
+	}
+}
+
+// prefill brings the structure to its steady-state Size: from a snapshot
+// copy when the FillCache already holds this fill-key, otherwise by the
+// cold §4 methodology — random keys from a domain of size 2*Size until
+// Size elements are held — capturing the image for the next point.
+func (in *Instance) prefill(cfg DSConfig, ds dataStructure, domain uint64) {
+	key := fillKey{cfg.Structure, cfg.Threads, cfg.Size, cfg.Seed}
+	if in.fills != nil {
+		if snap := in.fills.lookup(key); snap != nil {
+			in.hm.Store().Restore(snap.words, snap.brk)
+			in.fills.hits.Add(1)
+			return
+		}
+	}
+	raw := htm.Raw{M: in.hm}
+	rng := rand.New(rand.NewSource(int64(cfg.Seed) + 1))
+	for n := 0; n < cfg.Size; {
+		if ds.Insert(raw, rng.Int63n(int64(domain)), 1) {
+			n++
+		}
+	}
+	if in.fills != nil {
+		words, brk := in.hm.Store().Snapshot()
+		in.fills.publish(key, &fillImage{words: words, brk: brk})
+		in.fills.miss.Add(1)
+	}
+}
+
+// RunObserved executes one benchmark point with observability attached (see
+// RunDataStructureObserved), reusing the instance's machine and memory via
+// reset-instead-of-rebuild.
+func (in *Instance) RunObserved(cfg DSConfig, col *obs.Collector, tr *trace.Tracer) Result {
+	simCfg := sim.Config{Procs: cfg.Threads, Seed: cfg.Seed, Quantum: cfg.Quantum, Cores: cfg.Cores}
+	memCfg := htm.Config{Words: memoryWords(cfg)}
+	if in.m == nil {
+		in.m = sim.MustNew(simCfg)
+		in.hm = htm.NewMemory(in.m, memCfg)
+	} else {
+		if err := in.m.Reset(simCfg); err != nil {
+			panic(fmt.Sprintf("harness: %v (config %+v)", err, cfg))
+		}
+		in.hm.Reset(in.m, memCfg)
+	}
+	m, hm := in.m, in.hm
+	hm.SetCollector(col)
+	hm.SetTracer(tr)
+
+	ds := buildStructure(hm, cfg)
+	domain := uint64(2 * cfg.Size)
+	if domain == 0 {
+		domain = 2
+	}
+	in.prefill(cfg, ds, domain)
+
+	l := buildLock(hm, cfg.Lock, cfg.Threads)
+	s := core.Observe(buildScheme(hm, cfg.Scheme, l, cfg.Threads), col)
+	var lockLines []int
+	if lr, ok := l.(locks.LineReporter); ok {
+		lockLines = lr.LockLines()
+	}
+	col.SetLockLines(lockLines)
+
+	var stats core.Stats
+	var slots []Slot
+	if cfg.SlotCycles > 0 {
+		slots = make([]Slot, cfg.BudgetCycles/cfg.SlotCycles+1)
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		m.Go(func(p *sim.Proc) {
+			for p.Clock() < cfg.BudgetCycles {
+				r := p.RandN(100)
+				key := int64(p.RandN(domain))
+				var o core.Outcome
+				switch {
+				case int(r) < cfg.Mix.InsertPct:
+					o = s.Critical(p, func(c htm.Ctx) { ds.Insert(c, key, 1) })
+				case int(r) < cfg.Mix.InsertPct+cfg.Mix.DeletePct:
+					o = s.Critical(p, func(c htm.Ctx) { ds.Delete(c, key) })
+				default:
+					o = s.Critical(p, func(c htm.Ctx) { ds.Lookup(c, key) })
+				}
+				stats.Add(o)
+				if cfg.SlotCycles > 0 {
+					idx := p.Clock() / cfg.SlotCycles
+					if idx >= uint64(len(slots)) {
+						idx = uint64(len(slots)) - 1
+					}
+					slots[idx].Ops++
+					if !o.Speculative {
+						slots[idx].NonSpec++
+					}
+				}
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		panic(fmt.Sprintf("harness: %v (config %+v)", err, cfg))
+	}
+	var maxClock uint64
+	for i := 0; i < cfg.Threads; i++ {
+		if c := m.Proc(i).Clock(); c > maxClock {
+			maxClock = c
+		}
+	}
+	col.SetGauge("run_cycles", int64(maxClock))
+	col.SetGauge("run_threads", int64(cfg.Threads))
+	col.Finish(maxClock)
+	return Result{Config: cfg, Stats: stats, Cycles: maxClock, Slots: slots, LockLines: lockLines}
+}

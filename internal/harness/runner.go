@@ -1,28 +1,52 @@
 package harness
 
 import (
-	"runtime"
 	"sync"
+
+	"elision/internal/fleet"
 )
 
 // Runner executes benchmark points with host-level parallelism (each point's
 // simulation is internally sequential and deterministic) and memoizes
 // results, since the figures share many points (e.g. every speedup needs its
-// baseline).
+// baseline). Campaigns are fanned out through the fleet orchestrator onto a
+// pool of reusable simulator instances: each fleet worker owns one Instance
+// (machine + memory reset between points, prefill restored from the shared
+// FillCache), so a campaign allocates a handful of simulators regardless of
+// how many points it runs.
 type Runner struct {
-	mu      sync.Mutex
-	cache   map[DSConfig]Result
+	mu    sync.Mutex
+	cache map[DSConfig]Result
+	fills *FillCache
+	// pool holds one reusable Instance per fleet worker, grown on demand and
+	// kept across RunAll calls so later figures reuse earlier snapshots.
+	pool []*Instance
+	// solo is the instance used by single-point Run calls.
+	solo   *Instance
+	soloMu sync.Mutex
+	// Workers is the number of host goroutines for RunAll (0 = one per host
+	// CPU).
 	Workers int
+	// Shards is the number of work-stealing shards (0 = one per worker).
+	Shards int
 	// Progress, when non-nil, is called after each completed point.
 	Progress func(done, total int)
 }
 
 // NewRunner returns a Runner using one worker per host CPU.
 func NewRunner() *Runner {
+	fills := NewFillCache()
 	return &Runner{
-		cache:   make(map[DSConfig]Result),
-		Workers: runtime.GOMAXPROCS(0),
+		cache: make(map[DSConfig]Result),
+		fills: fills,
+		solo:  NewInstance(fills),
 	}
+}
+
+// PrefillStats reports the runner's prefill snapshot cache hits and misses
+// across every point computed so far.
+func (r *Runner) PrefillStats() (hits, misses uint64) {
+	return r.fills.Stats()
 }
 
 // Run returns the result for one point, computing it if needed.
@@ -33,15 +57,19 @@ func (r *Runner) Run(cfg DSConfig) Result {
 		return res
 	}
 	r.mu.Unlock()
-	res := RunDataStructure(cfg)
+	r.soloMu.Lock()
+	res := r.solo.Run(cfg)
+	r.soloMu.Unlock()
 	r.mu.Lock()
 	r.cache[cfg] = res
 	r.mu.Unlock()
 	return res
 }
 
-// RunAll computes every config, fanning out across Workers host goroutines,
-// and returns results in input order.
+// RunAll computes every config, fanning out across the fleet, and returns
+// results in input order. Results are independent of worker count and
+// completion order: each point is a deterministic function of its config,
+// and aggregation is by input index, never arrival.
 func (r *Runner) RunAll(cfgs []DSConfig) []Result {
 	// Deduplicate against the cache first.
 	var todo []DSConfig
@@ -56,35 +84,19 @@ func (r *Runner) RunAll(cfgs []DSConfig) []Result {
 	r.mu.Unlock()
 
 	if len(todo) > 0 {
-		w := r.Workers
-		if w < 1 {
-			w = 1
+		fc := fleet.Config{Workers: r.Workers, Shards: r.Shards, Progress: r.Progress}
+		for len(r.pool) < fc.WorkerCount(len(todo)) {
+			r.pool = append(r.pool, NewInstance(r.fills))
 		}
-		jobs := make(chan DSConfig)
-		var wg sync.WaitGroup
-		done := 0
-		for i := 0; i < w; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for cfg := range jobs {
-					res := RunDataStructure(cfg)
-					r.mu.Lock()
-					r.cache[cfg] = res
-					done++
-					d := done
-					r.mu.Unlock()
-					if r.Progress != nil {
-						r.Progress(d, len(todo))
-					}
-				}
-			}()
+		results := make([]Result, len(todo))
+		fleet.Run(fc, len(todo), func(w, i int) {
+			results[i] = r.pool[w].Run(todo[i])
+		})
+		r.mu.Lock()
+		for i, c := range todo {
+			r.cache[c] = results[i]
 		}
-		for _, c := range todo {
-			jobs <- c
-		}
-		close(jobs)
-		wg.Wait()
+		r.mu.Unlock()
 	}
 
 	out := make([]Result, len(cfgs))

@@ -181,20 +181,26 @@ type lineMeta struct {
 	owner int16
 }
 
-// NewMemory creates a transactional memory shared by the machine's procs.
-func NewMemory(m *sim.Machine, cfg Config) *Memory {
-	cost := cfg.Cost
+// resolve applies the Config defaults.
+func (cfg Config) resolve() (cost sim.CostModel, maxRead, maxWrite int) {
+	cost = cfg.Cost
 	if cost == (sim.CostModel{}) {
 		cost = sim.DefaultCost()
 	}
-	maxRead := cfg.MaxReadLines
+	maxRead = cfg.MaxReadLines
 	if maxRead == 0 {
 		maxRead = 4096
 	}
-	maxWrite := cfg.MaxWriteLines
+	maxWrite = cfg.MaxWriteLines
 	if maxWrite == 0 {
 		maxWrite = 512
 	}
+	return cost, maxRead, maxWrite
+}
+
+// NewMemory creates a transactional memory shared by the machine's procs.
+func NewMemory(m *sim.Machine, cfg Config) *Memory {
+	cost, maxRead, maxWrite := cfg.resolve()
 	store := mem.NewStore(cfg.Words)
 	meta := make([]lineMeta, store.Lines())
 	for i := range meta {
@@ -211,6 +217,43 @@ func NewMemory(m *sim.Machine, cfg Config) *Memory {
 		maxWrite: maxWrite,
 		policy:   cfg.Policy,
 	}
+}
+
+// Reset returns the Memory to the state NewMemory(mach, cfg) would produce,
+// reusing the store's backing arrays, the conflict metadata and the pooled
+// per-proc transaction state where the new geometry allows. Any attached
+// collector or tracer is detached (as on a fresh Memory). Like
+// sim.Machine.Reset, it must only be called between runs, and a reset
+// Memory behaves bit-for-bit like a freshly constructed one.
+func (m *Memory) Reset(mach *sim.Machine, cfg Config) {
+	m.cost, m.maxRead, m.maxWrite = cfg.resolve()
+	m.policy = cfg.Policy
+	m.store.Reset(cfg.Words)
+	lines := m.store.Lines()
+	if cap(m.meta) >= lines {
+		m.meta = m.meta[:lines]
+	} else {
+		m.meta = make([]lineMeta, lines)
+	}
+	for i := range m.meta {
+		m.meta[i] = lineMeta{writer: -1, owner: -1}
+	}
+	procs := mach.Procs()
+	if cap(m.cur) >= procs {
+		m.cur = m.cur[:procs]
+	} else {
+		m.cur = make([]*Tx, procs)
+	}
+	for i := range m.cur {
+		m.cur[i] = nil
+	}
+	// Keep existing Tx pools (their dense sets clear by epoch and their
+	// write buffers drain at cleanup); only grow for extra procs.
+	if len(m.txs) < procs {
+		m.txs = append(m.txs, make([]Tx, procs-len(m.txs))...)
+	}
+	m.tracer = nil
+	m.col = nil
 }
 
 // Store exposes the raw word store (for setup code and allocators).

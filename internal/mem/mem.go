@@ -36,6 +36,11 @@ type Store struct {
 	// of nobody parked (speculative phases park no one).
 	nWaiters int
 	brk      Addr // bump-allocation frontier
+	// hiWater is the highest allocation frontier this backing array has ever
+	// reached. Simulated programs only write allocated words, so everything
+	// at or above hiWater is zero; Reset scrubs only [0, hiWater) instead of
+	// the whole array when a pooled Store is recycled.
+	hiWater Addr
 }
 
 // NewStore creates a memory of the given size in words, rounded up to a
@@ -49,6 +54,76 @@ func NewStore(words int) *Store {
 		words:   make([]int64, lines*LineWords),
 		waiters: make([][]*sim.Proc, lines),
 		brk:     LineWords, // burn line 0 so Addr 0 stays nil
+		hiWater: LineWords,
+	}
+}
+
+// Reset returns the Store to the state NewStore(words) would produce,
+// reusing the backing arrays when their capacity allows. Only the
+// previously allocated region is scrubbed (words at or above the high-water
+// frontier are zero by the Alloc discipline), so recycling a pooled Store
+// costs O(allocated), not O(capacity). Must not be called while any sim
+// Proc is parked on one of the Store's lines.
+func (s *Store) Reset(words int) {
+	if words < LineWords {
+		words = LineWords
+	}
+	lines := (words + LineWords - 1) / LineWords
+	n := lines * LineWords
+	if cap(s.words) >= n {
+		// The dirty region may extend past the new length when the previous
+		// incarnation was larger; hiWater never exceeds the backing array.
+		s.words = s.words[:cap(s.words)]
+		clearWords(s.words[:s.hiWater])
+		s.words = s.words[:n]
+	} else {
+		s.words = make([]int64, n)
+	}
+	if cap(s.waiters) >= lines {
+		s.waiters = s.waiters[:lines]
+		for i := range s.waiters {
+			s.waiters[i] = s.waiters[i][:0]
+		}
+	} else {
+		s.waiters = make([][]*sim.Proc, lines)
+	}
+	s.nWaiters = 0
+	s.brk = LineWords
+	s.hiWater = LineWords
+}
+
+// clearWords zeroes a word slice (compiled to a memclr).
+func clearWords(w []int64) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// Snapshot copies the allocated prefix of memory — the image a later
+// Restore replays. The returned slice is detached from the Store.
+func (s *Store) Snapshot() ([]int64, Addr) {
+	img := make([]int64, s.brk)
+	copy(img, s.words[:s.brk])
+	return img, s.brk
+}
+
+// Restore overwrites memory with a snapshot taken on a Store of the same
+// geometry: the image is copied over the front of memory, any previously
+// allocated words beyond it are zeroed, and the allocation frontier is set
+// to the snapshot's. Waiter queues are untouched (a Store being restored
+// must have none). Restoring is byte-for-byte equivalent to replaying the
+// allocations and stores that produced the snapshot.
+func (s *Store) Restore(img []int64, brk Addr) {
+	if int(brk) > len(s.words) {
+		panic(fmt.Sprintf("mem: snapshot frontier %d exceeds store size %d", brk, len(s.words)))
+	}
+	if s.hiWater > Addr(len(img)) {
+		clearWords(s.words[len(img):s.hiWater])
+	}
+	copy(s.words, img)
+	s.brk = brk
+	if brk > s.hiWater {
+		s.hiWater = brk
 	}
 }
 
@@ -92,6 +167,9 @@ func (s *Store) Alloc(n int) Addr {
 	s.brk += Addr(n)
 	if int(s.brk) > len(s.words) {
 		panic(fmt.Sprintf("mem: out of simulated memory (brk %d > %d words); size the Store larger", s.brk, len(s.words)))
+	}
+	if s.brk > s.hiWater {
+		s.hiWater = s.brk
 	}
 	return a
 }

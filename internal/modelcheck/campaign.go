@@ -2,8 +2,11 @@ package modelcheck
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
+
+	"elision/internal/fleet"
 )
 
 // CampaignConfig parameterizes a fuzzing campaign over scheme×lock
@@ -23,8 +26,13 @@ type CampaignConfig struct {
 	Deadline time.Time
 	// Shrink failing cases before reporting.
 	Shrink bool
-	// Workers bounds host-side parallelism (0 = 4).
+	// Workers bounds host-side parallelism (0 = one per host CPU).
 	Workers int
+	// Shards is the fleet work-stealing shard count (0 = one per worker).
+	Shards int
+	// Progress, when non-nil, receives fleet-level completion counts for the
+	// pinned-seed pass (time-boxed rounds report per round).
+	Progress func(done, total int)
 }
 
 // ComboSummary aggregates one scheme×lock cell of the campaign grid.
@@ -73,10 +81,11 @@ func comboSeed(base uint64, combo, i int) uint64 {
 	return r.next() + uint64(i)
 }
 
-// RunCampaign fuzzes the configured grid and aggregates a Summary. Cases
-// run in parallel on host goroutines; results are folded in grid order, so
-// the Summary is a deterministic function of (config, code) in pinned-seed
-// mode.
+// RunCampaign fuzzes the configured grid and aggregates a Summary. Cases fan
+// out on the fleet orchestrator and fold into the Summary as they complete:
+// combo counters are commutative sums, and failures are merged in global
+// case order, so the Summary is a byte-identical function of (config, code)
+// in pinned-seed mode at any worker count.
 func RunCampaign(cfg CampaignConfig) Summary {
 	schemes := cfg.Schemes
 	if len(schemes) == 0 {
@@ -88,7 +97,7 @@ func RunCampaign(cfg CampaignConfig) Summary {
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = 4
+		workers = runtime.GOMAXPROCS(0)
 	}
 	seeds := cfg.Seeds
 	if seeds <= 0 {
@@ -114,6 +123,10 @@ func RunCampaign(cfg CampaignConfig) Summary {
 		sum.Combos[i] = ComboSummary{Scheme: g.scheme, Lock: g.lock}
 	}
 
+	var (
+		foldMu   sync.Mutex
+		failures fleet.Merger[Failure]
+	)
 	timeBoxed := !cfg.Deadline.IsZero()
 	round := 0
 	for {
@@ -121,29 +134,31 @@ func RunCampaign(cfg CampaignConfig) Summary {
 		if timeBoxed {
 			n = 1 // one seed per combo per round, then re-check the clock
 		}
-		results := make([]Result, len(grid)*n)
-		var wg sync.WaitGroup
-		idx := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range idx {
-					combo, i := j/n, j%n
-					g := grid[combo]
-					c := GenCase(g.scheme, g.lock, comboSeed(cfg.SeedBase, combo, round*n+i))
-					results[j] = Run(c)
-				}
-			}()
-		}
-		for j := range results {
-			idx <- j
-		}
-		close(idx)
-		wg.Wait()
+		total := len(grid) * n
+		fc := fleet.Config{Workers: workers, Shards: cfg.Shards, Progress: cfg.Progress}
+		base := round * total // global case index offset for the failure merge
+		fleet.Run(fc, total, func(_, j int) {
+			combo, i := j/n, j%n
+			g := grid[combo]
+			c := GenCase(g.scheme, g.lock, comboSeed(cfg.SeedBase, combo, round*n+i))
+			r := Run(c)
 
-		for j, r := range results {
-			cs := &sum.Combos[j/n]
+			// Streaming fold: shrinking (the expensive part of a failing
+			// case) happens here on the worker, not in a serial pass.
+			var f *Failure
+			if len(r.Violations) > 0 {
+				f = &Failure{
+					Repro:  r.Case.Repro(),
+					Oracle: r.Violations[0].Oracle,
+					Detail: r.Violations[0].Detail,
+				}
+				if cfg.Shrink {
+					f.ShrunkRepro = Shrink(r.Case, nil).Repro()
+				}
+				failures.Add(base+j, *f)
+			}
+			foldMu.Lock()
+			cs := &sum.Combos[combo]
 			cs.Cases++
 			cs.Violations += len(r.Violations)
 			cs.Ops += r.Stats.Ops
@@ -155,22 +170,15 @@ func RunCampaign(cfg CampaignConfig) Summary {
 			}
 			sum.TotalCases++
 			sum.TotalViolations += len(r.Violations)
-			if len(r.Violations) > 0 {
-				f := Failure{
-					Repro:  r.Case.Repro(),
-					Oracle: r.Violations[0].Oracle,
-					Detail: r.Violations[0].Detail,
-				}
-				if cfg.Shrink {
-					f.ShrunkRepro = Shrink(r.Case, nil).Repro()
-				}
-				sum.Failures = append(sum.Failures, f)
-			}
-		}
+			foldMu.Unlock()
+		})
 		round++
 		if !timeBoxed || time.Now().After(cfg.Deadline) {
 			break
 		}
+	}
+	if fs := failures.Sorted(); len(fs) > 0 {
+		sum.Failures = fs
 	}
 	return sum
 }

@@ -172,6 +172,15 @@ func New(cfg Config) (*Machine, error) {
 			rng:      mixSeed(cfg.Seed, uint64(i)),
 		}
 	}
+	m.initTopology()
+	return m, nil
+}
+
+// initTopology derives the SMT sibling groups and slowdown surcharge from
+// the current Config. Called by New and Reset.
+func (m *Machine) initTopology() {
+	cfg := m.cfg
+	m.htSlowdown = 0
 	if cfg.Cores > 0 && cfg.Cores < cfg.Procs {
 		m.htSlowdown = cfg.HTSlowdownPercent
 		if m.htSlowdown == 0 {
@@ -197,7 +206,55 @@ func New(cfg Config) (*Machine, error) {
 			}
 		}
 	}
-	return m, nil
+}
+
+// Reset returns the Machine to the state New(cfg) would produce, reusing
+// the proc table and scheduler channels where cfg.Procs allows. It is the
+// rebuild-free path for pooled simulator instances: a Reset machine runs
+// the same bodies to bit-for-bit the same execution a freshly constructed
+// one would. Reset must only be called after Run has returned (or before
+// Run was ever called) — never while procs are live.
+func (m *Machine) Reset(cfg Config) error {
+	if cfg.Procs < 1 || cfg.Procs > MaxProcs {
+		return fmt.Errorf("sim: Procs must be in [1,%d], got %d", MaxProcs, cfg.Procs)
+	}
+	m.cfg = cfg
+	m.nLive = 0
+	m.done = make(chan struct{})
+	m.failed = nil
+	m.killed = false
+	m.bodyErr = nil
+	m.jrng = mixSeed(cfg.Seed, uint64(MaxProcs)+1)
+	m.otherMin = 0
+	if len(m.procs) != cfg.Procs {
+		old := m.procs
+		m.procs = make([]*Proc, cfg.Procs)
+		copy(m.procs, old)
+	}
+	for i, p := range m.procs {
+		if p == nil {
+			p = &Proc{id: i, wake: make(chan WakeCause, 1)}
+			m.procs[i] = p
+		}
+		// A completed Run leaves every wake channel drained; scrub anyway so
+		// a machine abandoned in a weird state cannot leak a stale token.
+		select {
+		case <-p.wake:
+		default:
+		}
+		p.m = m
+		p.clock = 0
+		p.state = stateNew
+		p.deadline = NoDeadline
+		p.rng = mixSeed(cfg.Seed, uint64(i))
+		p.body = nil
+		p.siblings = nil
+		p.wakeFloor = 0
+		p.pendingCause = 0
+		p.lastWake = 0
+	}
+	m.initTopology()
+	return nil
 }
 
 // MustNew is New for static configurations known to be valid.
@@ -232,7 +289,8 @@ func (m *Machine) Go(body func(*Proc)) *Proc {
 
 // Run executes every assigned body to completion in virtual time and returns
 // the first scheduling failure (e.g. ErrDeadlock), if any. Procs without a
-// body simply never run. Run must be called exactly once.
+// body simply never run. Run must be called exactly once per construction
+// or Reset.
 func (m *Machine) Run() error {
 	m.nLive = 0
 	for _, p := range m.procs {
