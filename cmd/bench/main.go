@@ -27,6 +27,8 @@ import (
 
 	"elision/internal/fleet"
 	"elision/internal/harness"
+	"elision/internal/obs"
+	"elision/internal/obs/rollup"
 	"elision/internal/sim"
 	"elision/internal/stamp"
 )
@@ -73,6 +75,11 @@ type CampaignMetrics struct {
 	PrefillHits    uint64  `json:"prefill_hits"`
 	PrefillMisses  uint64  `json:"prefill_misses"`
 	PrefillHitRate float64 `json:"prefill_hit_rate"`
+	// Steals and OccupancyPct come from the fleet's self-profile: how many
+	// points were claimed cross-shard, and the mean fraction of the campaign
+	// wall time each worker spent inside a job.
+	Steals       uint64  `json:"steals"`
+	OccupancyPct float64 `json:"occupancy_pct"`
 }
 
 // Report is the top-level BENCH_simulator.json document.
@@ -217,12 +224,15 @@ func campaignGrid() []harness.DSConfig {
 }
 
 // measureCampaign runs the campaign grid on a fresh pooled-instance Runner
-// and distills the fleet-level throughput numbers.
-func measureCampaign(fc fleet.Config) CampaignMetrics {
+// and distills the fleet-level throughput numbers. prof, when non-nil,
+// self-profiles the fleet (per-job bookkeeping is ~ns against ms-scale
+// points, so the measured numbers stay honest).
+func measureCampaign(fc fleet.Config, prof *fleet.Profile) CampaignMetrics {
 	grid := campaignGrid()
 	r := harness.NewRunner()
 	r.Workers = fc.Workers
 	r.Shards = fc.Shards
+	r.Profile = prof
 	start := time.Now()
 	results := r.RunAll(grid)
 	wall := time.Since(start)
@@ -238,6 +248,7 @@ func measureCampaign(fc fleet.Config) CampaignMetrics {
 		WallMs:        float64(wall.Nanoseconds()) / 1e6,
 		PrefillHits:   hits,
 		PrefillMisses: misses,
+		Steals:        prof.Steals(),
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		m.SimsPerSec = float64(len(grid)) / secs
@@ -246,7 +257,26 @@ func measureCampaign(fc fleet.Config) CampaignMetrics {
 	if total := hits + misses; total > 0 {
 		m.PrefillHitRate = float64(hits) / float64(total)
 	}
+	if _, mean := prof.Occupancy(); mean > 0 {
+		m.OccupancyPct = 100 * mean
+	}
 	return m
+}
+
+// observedCampaign re-runs the campaign grid with the full observability
+// rig — collector plus causality engine per point — on a separate runner,
+// so the rollup pass never perturbs the timed measurement above. Returns
+// the campaign rollup and a registry of the runner's pooling metrics.
+func observedCampaign(fc fleet.Config, prof *fleet.Profile) (*rollup.Campaign, *obs.Registry) {
+	r := harness.NewRunner()
+	r.Workers = fc.Workers
+	r.Shards = fc.Shards
+	r.Profile = prof
+	ru := rollup.New()
+	r.RunAllRollup(campaignGrid(), ru)
+	fleetReg := obs.NewRegistry()
+	r.Metrics(fleetReg)
+	return ru, fleetReg
 }
 
 // reproduceQuick runs the quick figure suite in-process and returns its
@@ -283,6 +313,8 @@ func run(args []string, stdout io.Writer) error {
 	repro := fs.Bool("reproduce", false, "also time the in-process quick figure suite")
 	j := fs.Int("j", 0, "parallel fleet workers for the campaign measurement (0 = all host CPUs)")
 	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
+	prom := fs.String("prom", "", "write campaign metrics (observed rollup pass + fleet self-metrics) as a Prometheus exposition here")
+	fleetTrace := fs.String("fleet-trace", "", "write the fleet's self-profile as a Perfetto/Chrome trace here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -330,9 +362,41 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, " %.1fms/op, %.0f allocs/op\n", m.NsPerOp/1e6, m.AllocsPerOp)
 	}
 	fmt.Fprintf(os.Stderr, "bench: campaign (%d points)...", len(campaignGrid()))
-	rep.Campaign = measureCampaign(fc)
-	fmt.Fprintf(os.Stderr, " %.1f sims/s, %.0f txns/s, prefill hit rate %.0f%%\n",
-		rep.Campaign.SimsPerSec, rep.Campaign.TxnsPerSec, 100*rep.Campaign.PrefillHitRate)
+	prof := fleet.NewProfile()
+	rep.Campaign = measureCampaign(fc, prof)
+	fmt.Fprintf(os.Stderr, " %.1f sims/s, %.0f txns/s, prefill hit rate %.0f%%, occupancy %.0f%%\n",
+		rep.Campaign.SimsPerSec, rep.Campaign.TxnsPerSec, 100*rep.Campaign.PrefillHitRate,
+		rep.Campaign.OccupancyPct)
+	if *prom != "" {
+		// The observed pass runs on its own runner (and its own profile slot
+		// in the trace) so observers never touch the timed numbers above.
+		fmt.Fprintf(os.Stderr, "bench: observed rollup pass...")
+		ru, fleetReg := observedCampaign(fc, prof)
+		prof.Metrics(fleetReg)
+		f, err := os.Create(*prom)
+		if err != nil {
+			return err
+		}
+		ru.WritePrometheus(f, fleetReg)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, " wrote %s\n", *prom)
+	}
+	if *fleetTrace != "" {
+		f, err := os.Create(*fleetTrace)
+		if err != nil {
+			return err
+		}
+		if err := prof.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote fleet trace %s\n", *fleetTrace)
+	}
 	if *repro {
 		d := reproduceQuick()
 		rep.ReproduceQuickWallMs = float64(d.Nanoseconds()) / 1e6

@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"elision/internal/fleet"
+	"elision/internal/obs"
 )
 
 // TestRejectsBadIters: a non-positive -iters used to run the whole suite
@@ -49,7 +51,8 @@ func TestRejectsBadFleetFlags(t *testing.T) {
 // non-zero throughput and the expected prefill-restore profile (two cold
 // fills — one per structure — and a hit for every other point).
 func TestCampaignMetricsPopulated(t *testing.T) {
-	m := measureCampaign(fleet.Config{Workers: 4})
+	prof := fleet.NewProfile()
+	m := measureCampaign(fleet.Config{Workers: 4}, prof)
 	if m.Points != len(campaignGrid()) || m.Workers < 1 {
 		t.Fatalf("campaign geometry: %+v", m)
 	}
@@ -62,6 +65,46 @@ func TestCampaignMetricsPopulated(t *testing.T) {
 	}
 	if m.PrefillHitRate <= 0.5 {
 		t.Fatalf("prefill hit rate = %v, want > 0.5", m.PrefillHitRate)
+	}
+	if m.OccupancyPct <= 0 || m.OccupancyPct > 100 {
+		t.Fatalf("occupancy = %v%%, want (0, 100]", m.OccupancyPct)
+	}
+	if prof.Jobs() != uint64(m.Points) {
+		t.Fatalf("fleet profile saw %d jobs, want %d", prof.Jobs(), m.Points)
+	}
+}
+
+// TestObservedCampaignArtifacts: the -prom pass produces a linting
+// exposition carrying campaign, harness and fleet families, and the fleet
+// trace is valid JSON.
+func TestObservedCampaignArtifacts(t *testing.T) {
+	prof := fleet.NewProfile()
+	ru, fleetReg := observedCampaign(fleet.Config{Workers: 2}, prof)
+	prof.Metrics(fleetReg)
+	var prom bytes.Buffer
+	ru.WritePrometheus(&prom, fleetReg)
+	if err := obs.LintPrometheus(bytes.NewReader(prom.Bytes())); err != nil {
+		t.Fatalf("campaign exposition does not lint: %v", err)
+	}
+	for _, want := range []string{
+		"campaign_runs_total", "htm_commits_total", "cs_ops_total",
+		"harness_prefill_hits_total", "harness_instance_builds_total",
+		"fleet_jobs_total", "fleet_workers 2",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+	var trace bytes.Buffer
+	if err := prof.WritePerfetto(&trace); err != nil {
+		t.Fatalf("fleet trace: %v", err)
+	}
+	var events []obs.TraceEvent
+	if err := json.Unmarshal(trace.Bytes(), &events); err != nil {
+		t.Fatalf("fleet trace is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("fleet trace is empty")
 	}
 }
 

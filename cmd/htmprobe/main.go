@@ -2,14 +2,24 @@
 // companion technical report probes Haswell's TSX: capacity limits, the
 // spurious-abort rate, the requestor-wins conflict policy, and the livelock
 // that naive lock removal suffers without SLR's progress mechanism (§5).
+//
+//	go run ./cmd/htmprobe          # all four probes, fixed order
+//	go run ./cmd/htmprobe -j 1     # run the probes sequentially
+//
+// Each probe is an independent deterministic simulation, so they fan out on
+// the fleet orchestrator and print in fixed order regardless of -j.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"elision/internal/core"
+	"elision/internal/fleet"
 	"elision/internal/htm"
 	"elision/internal/locks"
 	"elision/internal/mem"
@@ -17,28 +27,53 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	flag.Parse()
-	if err := probeCapacity(); err != nil {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("htmprobe", flag.ContinueOnError)
+	j := fs.Int("j", 0, "parallel fleet workers (0 = all host CPUs)")
+	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := probeSpurious(); err != nil {
+	if fs.NArg() > 0 {
+		return fmt.Errorf("htmprobe: unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	fc, err := fleet.Flags(*j, *shards)
+	if err != nil {
 		return err
 	}
-	if err := probeRequestorWins(); err != nil {
-		return err
+
+	probes := []func(io.Writer) error{
+		probeCapacity, probeSpurious, probeRequestorWins, probeNaiveLockRemoval,
 	}
-	return probeNaiveLockRemoval()
+	type probeOut struct {
+		text string
+		err  error
+	}
+	// Collect keys by index, so output order is fixed at any worker count.
+	outs := fleet.Collect(fc, len(probes), func(i int) probeOut {
+		var buf bytes.Buffer
+		err := probes[i](&buf)
+		return probeOut{text: buf.String(), err: err}
+	})
+	for _, o := range outs {
+		if o.err != nil {
+			return o.err
+		}
+		if _, err := io.WriteString(stdout, o.text); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // probeCapacity grows a transaction's read and write sets until they abort.
-func probeCapacity() error {
+func probeCapacity(w io.Writer) error {
 	m := sim.MustNew(sim.Config{Procs: 1, Seed: 1})
 	cost := sim.DefaultCost()
 	cost.SpuriousDenom = 0 // isolate capacity
@@ -69,13 +104,13 @@ func probeCapacity() error {
 	if err := m.Run(); err != nil {
 		return err
 	}
-	fmt.Printf("capacity: read set %d lines (%d KB), write set %d lines (%d KB)\n",
+	fmt.Fprintf(w, "capacity: read set %d lines (%d KB), write set %d lines (%d KB)\n",
 		maxRead, maxRead*64/1024, maxWrite, maxWrite*64/1024)
 	return nil
 }
 
 // probeSpurious measures the abort rate of conflict-free transactions.
-func probeSpurious() error {
+func probeSpurious(w io.Writer) error {
 	m := sim.MustNew(sim.Config{Procs: 1, Seed: 2})
 	hm := htm.NewMemory(m, htm.Config{Words: 1 << 16})
 	a := hm.Store().AllocLines(1)
@@ -96,14 +131,14 @@ func probeSpurious() error {
 	if err := m.Run(); err != nil {
 		return err
 	}
-	fmt.Printf("spurious: %d of %d conflict-free transactions aborted (%.4f%%)\n",
+	fmt.Fprintf(w, "spurious: %d of %d conflict-free transactions aborted (%.4f%%)\n",
 		aborted, txns, 100*float64(aborted)/txns)
 	return nil
 }
 
 // probeRequestorWins demonstrates the conflict-resolution policy: the later
 // accessor always survives.
-func probeRequestorWins() error {
+func probeRequestorWins(w io.Writer) error {
 	m := sim.MustNew(sim.Config{Procs: 2, Seed: 3})
 	cost := sim.DefaultCost()
 	cost.SpuriousDenom = 0
@@ -124,7 +159,7 @@ func probeRequestorWins() error {
 	if err := m.Run(); err != nil {
 		return err
 	}
-	fmt.Printf("requestor wins: earlier writer committed=%v, later reader committed=%v\n",
+	fmt.Fprintf(w, "requestor wins: earlier writer committed=%v, later reader committed=%v\n",
 		first.Committed, second.Committed)
 	return nil
 }
@@ -135,7 +170,7 @@ func probeRequestorWins() error {
 // both conflict policies. Requestor-wins (Haswell) wastes attempts on
 // mutual dooming; committer-wins (a progress-guaranteeing policy) lets the
 // incumbent finish, so far fewer attempts are needed.
-func probeNaiveLockRemoval() error {
+func probeNaiveLockRemoval(w io.Writer) error {
 	for _, pol := range []htm.Policy{htm.RequestorWins, htm.CommitterWins} {
 		name := "requestor-wins"
 		if pol == htm.CommitterWins {
@@ -177,7 +212,7 @@ func probeNaiveLockRemoval() error {
 			totC += commits[i]
 			totA += attempts[i]
 		}
-		fmt.Printf("naive lock removal (%s): %d commits in %d attempts (%.1f attempts/commit)\n",
+		fmt.Fprintf(w, "naive lock removal (%s): %d commits in %d attempts (%.1f attempts/commit)\n",
 			name, totC, totA, float64(totA)/float64(totC))
 	}
 	// And the paper's fix: the same workload through SLR, whose MAX_RETRIES
@@ -208,8 +243,8 @@ func probeNaiveLockRemoval() error {
 	if err := m.Run(); err != nil {
 		return err
 	}
-	fmt.Printf("same workload under SLR:             %d commits in %d attempts (%.1f attempts/commit, %.0f%% via lock fallback)\n",
+	fmt.Fprintf(w, "same workload under SLR:             %d commits in %d attempts (%.1f attempts/commit, %.0f%% via lock fallback)\n",
 		stats.Ops, stats.Attempts, float64(stats.Attempts)/float64(stats.Ops), 100*stats.NonSpecFraction())
-	fmt.Println("(SLR's MAX_RETRIES + lock fallback restore progress on requestor-wins hardware; §5)")
+	fmt.Fprintln(w, "(SLR's MAX_RETRIES + lock fallback restore progress on requestor-wins hardware; §5)")
 	return nil
 }

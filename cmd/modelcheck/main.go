@@ -30,6 +30,7 @@ import (
 	"elision/internal/fleet"
 	"elision/internal/modelcheck"
 	"elision/internal/modelcheck/mutants"
+	"elision/internal/obs"
 )
 
 // errFailed distinguishes "the checker worked and found violations" from
@@ -88,6 +89,8 @@ func run(args []string, stdout io.Writer) error {
 	j := fs.Int("j", 0, "parallel fleet workers (0 = all host CPUs)")
 	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
 	repro := fs.String("repro", "", "replay one reproducer string instead of running a campaign")
+	prom := fs.String("prom", "", "write the campaign's per-combo tallies as a Prometheus exposition here")
+	fleetTrace := fs.String("fleet-trace", "", "write the fleet's self-profile as a Perfetto/Chrome trace here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +119,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	prof := fleet.NewProfile()
 	cfg := modelcheck.CampaignConfig{
 		Schemes:  schemeList,
 		Locks:    lockList,
@@ -124,7 +128,8 @@ func run(args []string, stdout io.Writer) error {
 		Shrink:   *shrink,
 		Workers:  fc.Workers,
 		Shards:   fc.Shards,
-		Progress: fleet.TTYProgress(os.Stderr, "cases"),
+		Profile:  prof,
+		Progress: fleet.TTYProgressStatus(os.Stderr, "cases", prof.StatusLine),
 	}
 	if *quick {
 		cfg.Seeds = 2
@@ -149,6 +154,36 @@ func run(args []string, stdout io.Writer) error {
 
 	if err := writeSummary(sum, runCampaign, *jsonOut, stdout); err != nil {
 		return err
+	}
+	if *prom != "" {
+		f, err := os.Create(*prom)
+		if err != nil {
+			return err
+		}
+		reg := sum.Registry()
+		if prof.Jobs() > 0 {
+			fleetReg := obs.NewRegistry()
+			prof.Metrics(fleetReg)
+			obs.WritePrometheus(f, reg, fleetReg)
+		} else {
+			reg.WritePrometheus(f)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *fleetTrace != "" {
+		f, err := os.Create(*fleetTrace)
+		if err != nil {
+			return err
+		}
+		if err := prof.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	if mutantErr != nil {
 		return mutantErr

@@ -11,6 +11,7 @@ import (
 
 	"elision/internal/modelcheck"
 	"elision/internal/modelcheck/mutants"
+	"elision/internal/obs"
 )
 
 func TestQuickGate(t *testing.T) {
@@ -121,5 +122,57 @@ func TestCampaignJSONWorkerInvariance(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("-j 1 and -j 8 produced different JSON summaries")
+	}
+}
+
+// TestPromWorkerInvariance: the -prom exposition derives from the summary
+// alone (the fleet self-metrics section is host state and is appended in a
+// separate registry only for human runs), so the modelcheck_* families are
+// byte-identical at -j 1 and -j 8 and pass the linter.
+func TestPromWorkerInvariance(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.prom"), filepath.Join(dir, "b.prom")
+	base := []string{"-seeds", "2", "-schemes", "hle,opt-slr", "-locks", "ttas,mcs"}
+	var out bytes.Buffer
+	if err := run(append([]string{"-j", "1", "-prom", a}, base...), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-j", "8", "-shards", "5", "-prom", b}, base...), &out); err != nil {
+		t.Fatal(err)
+	}
+	rawA, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare only the deterministic modelcheck_* families: the fleet_*
+	// lines record host scheduling and legitimately differ.
+	section := func(raw []byte) string {
+		var keep []string
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.Contains(line, "modelcheck_") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if section(rawA) != section(rawB) {
+		t.Fatalf("-j 1 and -j 8 produced different modelcheck expositions:\n--- a ---\n%s--- b ---\n%s",
+			section(rawA), section(rawB))
+	}
+	if err := obs.LintPrometheus(bytes.NewReader(rawA)); err != nil {
+		t.Fatalf("exposition does not lint: %v\n%s", err, rawA)
+	}
+	for _, want := range []string{
+		"modelcheck_cases_total", "modelcheck_violations_total 0",
+		`modelcheck_ops_total{scheme="hle",lock="ttas"}`,
+		"fleet_jobs_total",
+	} {
+		if !strings.Contains(string(rawA), want) {
+			t.Errorf("exposition lacks %q:\n%s", want, rawA)
+		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"elision/internal/htm"
 	"elision/internal/obs"
 	"elision/internal/obs/causality"
+	"elision/internal/obs/rollup"
 )
 
 func main() {
@@ -39,6 +40,9 @@ func run(args []string, stdout io.Writer) error {
 	hotLines := fs.Int("hot-lines", 0, "print the §4 lemming run's top-N conflict hot lines")
 	j := fs.Int("j", 0, "parallel fleet workers (0 = all host CPUs)")
 	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
+	rollupOut := fs.String("rollup", "", "after the figures, re-run every computed point observed and write the campaign speculation-health rollup here ('-' = stdout)")
+	prom := fs.String("prom", "", "write the campaign rollup plus fleet self-metrics as a Prometheus exposition here (implies the observed pass)")
+	fleetTrace := fs.String("fleet-trace", "", "write the fleet's self-profile as a Perfetto/Chrome trace here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,7 +73,20 @@ func run(args []string, stdout io.Writer) error {
 	r := harness.NewRunner()
 	r.Workers = fc.Workers
 	r.Shards = fc.Shards
-	r.Progress = fleet.TTYProgress(os.Stderr, "points")
+	prof := fleet.NewProfile()
+	r.Profile = prof
+	// The progress line carries live fleet state: worker occupancy, steals,
+	// and the prefill-cache hit rate so far.
+	r.Progress = fleet.TTYProgressStatus(os.Stderr, "points", func() string {
+		s := prof.StatusLine()
+		if hits, misses := r.PrefillStats(); hits+misses > 0 {
+			if s != "" {
+				s += " "
+			}
+			s += fmt.Sprintf("prefill %.0f%%", 100*float64(hits)/float64(hits+misses))
+		}
+		return s
+	})
 
 	write := func(name string, tables []harness.Table) error {
 		f, err := os.Create(filepath.Join(*outDir, name+".txt"))
@@ -125,6 +142,57 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "   %s done in %v\n", j.name, time.Since(start).Round(time.Second))
+	}
+
+	if *rollupOut != "" || *prom != "" {
+		// Post-hoc observed pass: every point the figures computed re-runs
+		// with collector + causality engine attached on the same (warm) pool.
+		// Observed runs are bit-identical to the unobserved ones, and the
+		// rollup's artifacts are byte-identical at any -j.
+		cfgs := r.CachedConfigs()
+		fmt.Fprintf(os.Stderr, "== rollup (observed pass over %d points) ==\n", len(cfgs))
+		ru := rollup.New()
+		r.RunAllRollup(cfgs, ru)
+		if *rollupOut != "" {
+			w := stdout
+			if *rollupOut != "-" {
+				f, err := os.Create(*rollupOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			ru.WriteText(w)
+		}
+		if *prom != "" {
+			fleetReg := obs.NewRegistry()
+			r.Metrics(fleetReg)
+			prof.Metrics(fleetReg)
+			f, err := os.Create(*prom)
+			if err != nil {
+				return err
+			}
+			ru.WritePrometheus(f, fleetReg)
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "   wrote %s\n", *prom)
+		}
+	}
+	if *fleetTrace != "" {
+		f, err := os.Create(*fleetTrace)
+		if err != nil {
+			return err
+		}
+		if err := prof.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "   wrote fleet trace %s\n", *fleetTrace)
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -38,6 +39,10 @@ type Config struct {
 	// strictly increasing, but which job just finished is unspecified —
 	// progress is fleet-level, never per-job.
 	Progress func(done, total int)
+	// Profile, when non-nil, records the fleet's own execution — job spans
+	// per worker, shard claims, steals, occupancy — without touching job
+	// results. One Profile may be shared across several Run calls.
+	Profile *Profile
 }
 
 // Flags validates the conventional -j / -shards command-line values and
@@ -150,17 +155,21 @@ func Run(cfg Config, n int, job func(worker, index int)) {
 		cfg.Progress(d, n)
 	}
 
+	cfg.Profile.begin(workers)
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for {
-				i := next(shards, w, workers)
+				i, src, stolen := next(shards, w, workers)
 				if i < 0 {
 					return
 				}
+				start := cfg.Profile.jobStart()
 				job(w, int(i))
+				cfg.Profile.jobEnd(int(i), w, src, stolen, start)
 				finished()
 			}
 		}(w)
@@ -170,11 +179,12 @@ func Run(cfg Config, n int, job func(worker, index int)) {
 
 // next claims the next index for worker w: first from the shards w owns
 // (s ≡ w mod workers), then by stealing from the shard with the most
-// remaining work. Returns -1 when every shard is drained.
-func next(shards []shard, w, workers int) int64 {
+// remaining work. Returns index -1 when every shard is drained, else the
+// claimed index, the shard it came from, and whether the claim was a steal.
+func next(shards []shard, w, workers int) (index int64, src int, stolen bool) {
 	for s := w; s < len(shards); s += workers {
 		if i := shards[s].claim(); i >= 0 {
-			return i
+			return i, s, false
 		}
 	}
 	for {
@@ -185,10 +195,10 @@ func next(shards []shard, w, workers int) int64 {
 			}
 		}
 		if victim < 0 {
-			return -1
+			return -1, -1, false
 		}
 		if i := shards[victim].claim(); i >= 0 {
-			return i
+			return i, victim, true
 		}
 		// Lost the race for the victim's last index; rescan.
 	}
@@ -243,10 +253,42 @@ func (g *Merger[T]) Sorted() []T {
 // progress line ("\r  done/total label") to w, with a newline once the
 // campaign completes — the shared progress reporter of the cmd tools.
 func TTYProgress(w io.Writer, label string) func(done, total int) {
+	return TTYProgressStatus(w, label, nil)
+}
+
+// TTYProgressStatus is TTYProgress with a live status suffix: when status is
+// non-nil and returns a non-empty string, it is appended in brackets
+// ("\r  done/total label [status]"). The cmd tools feed it live fleet state
+// — worker occupancy from Profile.StatusLine, prefill-cache hit rates — so
+// a long campaign shows what the fleet is doing, not just how far it is.
+// The line is padded so a shrinking status never leaves stale characters.
+// The callback serializes itself: Run invokes Progress from every worker
+// goroutine concurrently.
+func TTYProgressStatus(w io.Writer, label string, status func() string) func(done, total int) {
+	var mu sync.Mutex
+	width := 0
 	return func(done, total int) {
-		fmt.Fprintf(w, "\r  %d/%d %s", done, total, label)
+		mu.Lock()
+		defer mu.Unlock()
+		line := fmt.Sprintf("  %d/%d %s", done, total, label)
+		if status != nil {
+			if s := status(); s != "" {
+				line += " [" + s + "]"
+			}
+		}
+		pad := width - len(line)
+		if pad < 0 {
+			pad = 0
+		}
+		width = len(line)
+		fmt.Fprintf(w, "\r%s%s", line, spaces(pad))
 		if done == total {
 			fmt.Fprintln(w)
 		}
 	}
+}
+
+// spaces returns n spaces (used for status-line erasure).
+func spaces(n int) string {
+	return strings.Repeat(" ", n)
 }

@@ -90,6 +90,9 @@ type Instance struct {
 	m     *sim.Machine
 	hm    *htm.Memory
 	fills *FillCache // nil disables snapshot sharing
+	// builds counts full machine constructions, resets reuses — together the
+	// instance's pooling efficiency, surfaced by Runner.Metrics.
+	builds, resets uint64
 }
 
 // NewInstance returns an empty instance drawing prefill snapshots from
@@ -101,6 +104,13 @@ func NewInstance(fills *FillCache) *Instance {
 // Run executes one benchmark point on the pooled simulator.
 func (in *Instance) Run(cfg DSConfig) Result {
 	return in.RunObserved(cfg, nil, nil)
+}
+
+// Counts reports how many points built the machine from scratch vs reused
+// it via reset — the instance's pooling efficiency. Call only between runs
+// (an Instance is single-owner).
+func (in *Instance) Counts() (builds, resets uint64) {
+	return in.builds, in.resets
 }
 
 // buildStructure constructs the benchmark container. Allocation order is
@@ -151,11 +161,13 @@ func (in *Instance) RunObserved(cfg DSConfig, col *obs.Collector, tr *trace.Trac
 	if in.m == nil {
 		in.m = sim.MustNew(simCfg)
 		in.hm = htm.NewMemory(in.m, memCfg)
+		in.builds++
 	} else {
 		if err := in.m.Reset(simCfg); err != nil {
 			panic(fmt.Sprintf("harness: %v (config %+v)", err, cfg))
 		}
 		in.hm.Reset(in.m, memCfg)
+		in.resets++
 	}
 	m, hm := in.m, in.hm
 	hm.SetCollector(col)

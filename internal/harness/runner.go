@@ -4,6 +4,9 @@ import (
 	"sync"
 
 	"elision/internal/fleet"
+	"elision/internal/obs"
+	"elision/internal/obs/causality"
+	"elision/internal/obs/rollup"
 )
 
 // Runner executes benchmark points with host-level parallelism (each point's
@@ -31,6 +34,9 @@ type Runner struct {
 	Shards int
 	// Progress, when non-nil, is called after each completed point.
 	Progress func(done, total int)
+	// Profile, when non-nil, records the fleet's own execution (job spans,
+	// steals, occupancy) across every RunAll/RunAllRollup fan-out.
+	Profile *fleet.Profile
 }
 
 // NewRunner returns a Runner using one worker per host CPU.
@@ -84,7 +90,7 @@ func (r *Runner) RunAll(cfgs []DSConfig) []Result {
 	r.mu.Unlock()
 
 	if len(todo) > 0 {
-		fc := fleet.Config{Workers: r.Workers, Shards: r.Shards, Progress: r.Progress}
+		fc := r.fleetConfig()
 		for len(r.pool) < fc.WorkerCount(len(todo)) {
 			r.pool = append(r.pool, NewInstance(r.fills))
 		}
@@ -106,4 +112,97 @@ func (r *Runner) RunAll(cfgs []DSConfig) []Result {
 	}
 	r.mu.Unlock()
 	return out
+}
+
+// CachedConfigs returns every config the runner has computed so far, in
+// unspecified order — the input for a post-hoc observed rollup pass over a
+// whole reproduction (rollup folding is order-independent, so the order
+// here does not matter).
+func (r *Runner) CachedConfigs() []DSConfig {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DSConfig, 0, len(r.cache))
+	for c := range r.cache {
+		out = append(out, c)
+	}
+	return out
+}
+
+// fleetConfig assembles the fleet configuration from the runner's knobs.
+func (r *Runner) fleetConfig() fleet.Config {
+	return fleet.Config{Workers: r.Workers, Shards: r.Shards, Progress: r.Progress, Profile: r.Profile}
+}
+
+// RunAllRollup computes every config with full observability attached —
+// a fresh collector plus abort-causality engine per point — folding each
+// finished run into ru and returning results in input order. Configs are
+// deduplicated within the call (one rollup run per unique point), results
+// land in the memo cache (observed runs are bit-identical to unobserved
+// ones), and the rollup's artifacts are byte-identical at any worker count:
+// every point's collector is a deterministic function of its config, and
+// Campaign.AddRun folds order-independently.
+func (r *Runner) RunAllRollup(cfgs []DSConfig, ru *rollup.Campaign) []Result {
+	var todo []DSConfig
+	seen := make(map[DSConfig]bool, len(cfgs))
+	for _, c := range cfgs {
+		if !seen[c] {
+			todo = append(todo, c)
+			seen[c] = true
+		}
+	}
+
+	results := make(map[DSConfig]Result, len(todo))
+	if len(todo) > 0 {
+		fc := r.fleetConfig()
+		for len(r.pool) < fc.WorkerCount(len(todo)) {
+			r.pool = append(r.pool, NewInstance(r.fills))
+		}
+		run := make([]Result, len(todo))
+		fleet.Run(fc, len(todo), func(w, i int) {
+			cfg := todo[i]
+			col := obs.NewCollector(string(cfg.Scheme), string(cfg.Lock), cfg.BudgetCycles/20)
+			causality.Attach(col, causality.Config{})
+			run[i] = r.pool[w].RunObserved(cfg, col, nil)
+			ru.AddRun(col)
+		})
+		r.mu.Lock()
+		for i, c := range todo {
+			r.cache[c] = run[i]
+			results[c] = run[i]
+		}
+		r.mu.Unlock()
+	}
+
+	out := make([]Result, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = results[c]
+	}
+	return out
+}
+
+// Metrics records the runner's own pooling efficiency into reg under the
+// harness_* namespace: prefill snapshot hits and misses, instance machine
+// builds vs resets, and the pool size. Call after the campaign's fan-outs
+// complete. Note the prefill hit/miss split is racy at -j > 1 (two workers
+// cold-filling the same key both count a miss), so these metrics are
+// excluded from byte-identity gates; gate them with tolerances instead.
+func (r *Runner) Metrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	hits, misses := r.fills.Stats()
+	reg.Counter("harness_prefill_hits_total", nil).Add(hits)
+	reg.Counter("harness_prefill_misses_total", nil).Add(misses)
+	var builds, resets uint64
+	r.soloMu.Lock()
+	b, rs := r.solo.Counts()
+	r.soloMu.Unlock()
+	builds, resets = builds+b, resets+rs
+	for _, in := range r.pool {
+		b, rs := in.Counts()
+		builds, resets = builds+b, resets+rs
+	}
+	reg.Counter("harness_instance_builds_total", nil).Add(builds)
+	reg.Counter("harness_instance_resets_total", nil).Add(resets)
+	reg.Gauge("harness_pool_instances", nil).Set(int64(len(r.pool)))
 }

@@ -33,6 +33,10 @@ type CampaignConfig struct {
 	// Progress, when non-nil, receives fleet-level completion counts for the
 	// pinned-seed pass (time-boxed rounds report per round).
 	Progress func(done, total int)
+	// Profile, when non-nil, self-profiles the fleet executing the campaign
+	// (job spans, steals, occupancy); it accumulates across time-boxed
+	// rounds.
+	Profile *fleet.Profile
 }
 
 // ComboSummary aggregates one scheme×lock cell of the campaign grid.
@@ -135,7 +139,7 @@ func RunCampaign(cfg CampaignConfig) Summary {
 			n = 1 // one seed per combo per round, then re-check the clock
 		}
 		total := len(grid) * n
-		fc := fleet.Config{Workers: workers, Shards: cfg.Shards, Progress: cfg.Progress}
+		fc := fleet.Config{Workers: workers, Shards: cfg.Shards, Progress: cfg.Progress, Profile: cfg.Profile}
 		base := round * total // global case index offset for the failure merge
 		fleet.Run(fc, total, func(_, j int) {
 			combo, i := j/n, j%n

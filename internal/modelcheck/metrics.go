@@ -1,0 +1,33 @@
+package modelcheck
+
+import "elision/internal/obs"
+
+// Registry renders the summary's per-combo tallies as an obs registry under
+// the modelcheck_* namespace, labelled by (scheme, lock) — the model
+// checker's contribution to a campaign-level Prometheus exposition. The
+// summary is itself a deterministic function of (config, code) in
+// pinned-seed mode, so the exposition is too.
+func (s Summary) Registry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Gauge("modelcheck_schema_version", nil).Set(int64(s.SchemaVersion))
+	reg.Counter("modelcheck_cases_total", nil).Add(uint64(s.TotalCases))
+	reg.Counter("modelcheck_violations_total", nil).Add(uint64(s.TotalViolations))
+	for _, cb := range s.Combos {
+		ls := obs.L("scheme", cb.Scheme, "lock", cb.Lock)
+		reg.Counter("modelcheck_combo_cases_total", ls).Add(uint64(cb.Cases))
+		reg.Counter("modelcheck_combo_violations_total", ls).Add(uint64(cb.Violations))
+		reg.Counter("modelcheck_ops_total", ls).Add(cb.Ops)
+		reg.Counter("modelcheck_spec_ops_total", ls).Add(cb.SpecOps)
+		reg.Counter("modelcheck_fallbacks_total", ls).Add(cb.Fallbacks)
+		reg.Counter("modelcheck_aborts_total", ls).Add(cb.Aborts)
+		reg.Counter("modelcheck_deadlocks_total", ls).Add(uint64(cb.Deadlocks))
+	}
+	for _, mr := range s.Mutants {
+		caught := uint64(0)
+		if mr.Caught {
+			caught = 1
+		}
+		reg.Counter("modelcheck_mutants_caught_total", obs.L("mutant", mr.Name)).Add(caught)
+	}
+	return reg
+}

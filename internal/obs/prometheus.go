@@ -1,0 +1,447 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format (version
+// 0.0.4): WritePrometheus renders registries for scraping or artifact
+// diffing, and LintPrometheus is a tiny dependency-free validator used by
+// the tests and CI to keep the emitted files honest. Output is a sorted,
+// stable function of the registry contents, so campaign-rollup expositions
+// are byte-identical at any worker count.
+
+// promHelp documents the metric families the instrumented layers feed. A
+// family without an entry is emitted without a HELP line (valid exposition).
+var promHelp = map[string]string{
+	MetricCommits:    "Transactional commits.",
+	MetricAborts:     "Transactional aborts by cause.",
+	MetricReadSet:    "Read-set size in cache lines at commit or abort.",
+	MetricWriteSet:   "Write-set size in cache lines at commit or abort.",
+	MetricOps:        "Completed critical sections by path.",
+	MetricLatency:    "Critical-section latency in cycles by path.",
+	MetricRetries:    "Extra attempts per completed critical section.",
+	MetricAuxEntries: "SCM serializing-path entries.",
+	MetricAuxDwell:   "Cycles spent holding an SCM auxiliary lock.",
+}
+
+var promNameSan = regexp.MustCompile(`[^a-zA-Z0-9_:]`)
+var promLabelSan = regexp.MustCompile(`[^a-zA-Z0-9_]`)
+
+// promName sanitizes a metric name into the exposition charset.
+func promName(s string) string {
+	s = promNameSan.ReplaceAllString(s, "_")
+	if s == "" || (s[0] >= '0' && s[0] <= '9') {
+		s = "_" + s
+	}
+	return s
+}
+
+// promLabelValue escapes a label value per the exposition format.
+func promLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promLabels renders a label set (plus optional extra pairs) as
+// {k="v",...}; empty input renders "".
+func promLabels(ls Labels, extra ...Label) string {
+	all := make(Labels, 0, len(ls)+len(extra))
+	all = append(all, ls...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		key := promLabelSan.ReplaceAllString(l.Key, "_")
+		if key == "" || (key[0] >= '0' && key[0] <= '9') {
+			key = "_" + key
+		}
+		sb.WriteString(key)
+		sb.WriteString(`="`)
+		sb.WriteString(promLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WritePrometheus renders the registries as one Prometheus text-format
+// exposition: families sorted by name, series sorted by label string, log2
+// histograms emitted with cumulative le="2^i-1" buckets plus le="+Inf".
+// Passing multiple registries concatenates their families into one sorted
+// document — callers keep family names disjoint (e.g. sim metrics vs
+// fleet_* metrics), or ensure disjoint label sets, so no series repeats.
+func WritePrometheus(w io.Writer, regs ...*Registry) {
+	var snaps []MetricSnapshot
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		snaps = append(snaps, r.Snapshot()...)
+	}
+	sort.SliceStable(snaps, func(i, j int) bool {
+		if snaps[i].Name != snaps[j].Name {
+			return snaps[i].Name < snaps[j].Name
+		}
+		if snaps[i].Labels != snaps[j].Labels {
+			return snaps[i].Labels < snaps[j].Labels
+		}
+		return snaps[i].Kind < snaps[j].Kind
+	})
+
+	lastFamily := ""
+	for _, s := range snaps {
+		name := promName(s.Name)
+		if name != lastFamily {
+			if help, ok := promHelp[s.Name]; ok {
+				fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, s.Kind)
+			lastFamily = name
+		}
+		ls := ParseLabels(s.Labels)
+		switch s.Kind {
+		case "histogram":
+			var cum uint64
+			for i, n := range s.Buckets {
+				if n == 0 {
+					continue
+				}
+				cum += n
+				le := "0"
+				if i > 0 {
+					le = strconv.FormatUint(1<<uint(i)-1, 10)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(ls, Label{"le", le}), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(ls, Label{"le", "+Inf"}), s.Count)
+			fmt.Fprintf(w, "%s_sum%s %d\n", name, promLabels(ls), s.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(ls), s.Count)
+		default:
+			fmt.Fprintf(w, "%s%s %d\n", name, promLabels(ls), s.Value)
+		}
+	}
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	WritePrometheus(w, r)
+}
+
+// ---- linter ----
+
+var lintNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var lintLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// histSeries tracks one histogram series' buckets for the end-of-document
+// checks.
+type histSeries struct {
+	buckets map[float64]float64 // le -> cumulative count
+	count   float64
+	hasCnt  bool
+	hasInf  bool
+	line    int
+}
+
+// LintPrometheus validates a Prometheus text-format exposition: metric and
+// label name charsets, label syntax and escaping, float-parsable values, at
+// most one TYPE per family (before its samples), no duplicate series, and —
+// for histogram families — per-series cumulative monotone buckets with a
+// le="+Inf" bucket matching _count. It is intentionally dependency-free (a
+// few hundred lines of stdlib) so CI can hold the emitted artifacts to the
+// format without vendoring a Prometheus client.
+func LintPrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]string{} // family -> type
+	sampled := map[string]bool{} // family had samples already
+	series := map[string]int{}   // full series id -> first line
+	hists := map[string]*histSeries{}
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, n, types, sampled); err != nil {
+				return err
+			}
+			continue
+		}
+		name, labels, value, err := lintSample(line, n)
+		if err != nil {
+			return err
+		}
+		id := name + "{" + canonicalLabels(labels) + "}"
+		if prev, dup := series[id]; dup {
+			return fmt.Errorf("prom line %d: duplicate series %s (first at line %d)", n, id, prev)
+		}
+		series[id] = n
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		sampled[family] = true
+		if types[family] == "histogram" {
+			if family == name {
+				return fmt.Errorf("prom line %d: histogram family %s has a bare sample %s (want _bucket/_sum/_count)", n, family, name)
+			}
+			if err := lintHistSample(hists, family, name, labels, value, n); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("prom: %w", err)
+	}
+	// End-of-document histogram checks.
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := hists[k]
+		if !h.hasInf {
+			return fmt.Errorf("prom line %d: histogram series %s has no le=\"+Inf\" bucket", h.line, k)
+		}
+		les := make([]float64, 0, len(h.buckets))
+		for le := range h.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		prev := -1.0
+		prevCum := -1.0
+		for _, le := range les {
+			cum := h.buckets[le]
+			if cum < prevCum {
+				return fmt.Errorf("prom: histogram series %s bucket le=%g count %g below le=%g count %g (not cumulative)", k, le, cum, prev, prevCum)
+			}
+			prev, prevCum = le, cum
+		}
+		if h.hasCnt && h.buckets[inf()] != h.count {
+			return fmt.Errorf("prom: histogram series %s +Inf bucket %g != _count %g", k, h.buckets[inf()], h.count)
+		}
+	}
+	return nil
+}
+
+func inf() float64 { v, _ := strconv.ParseFloat("+Inf", 64); return v }
+
+// lintComment validates a "# ..." line; only HELP and TYPE carry structure.
+func lintComment(line string, n int, types map[string]string, sampled map[string]bool) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // a bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("prom line %d: malformed TYPE line %q", n, line)
+		}
+		name, kind := fields[2], fields[3]
+		if !lintNameRe.MatchString(name) {
+			return fmt.Errorf("prom line %d: invalid metric name %q", n, name)
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("prom line %d: unknown metric type %q", n, kind)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("prom line %d: duplicate TYPE for family %s", n, name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("prom line %d: TYPE for family %s after its samples", n, name)
+		}
+		types[name] = kind
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("prom line %d: malformed HELP line %q", n, line)
+		}
+		if !lintNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("prom line %d: invalid metric name %q", n, fields[2])
+		}
+	}
+	return nil
+}
+
+// lintSample parses one sample line into (name, labels, value).
+func lintSample(line string, n int) (string, []Label, float64, error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	var labels []Label
+	if brace >= 0 && (strings.IndexByte(rest, ' ') < 0 || brace < strings.IndexByte(rest, ' ')) {
+		name = rest[:brace]
+		var err error
+		labels, rest, err = lintLabelSet(rest[brace+1:], n)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("prom line %d: sample %q has no value", n, line)
+		}
+		name, rest = rest[:sp], rest[sp:]
+	}
+	if !lintNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("prom line %d: invalid metric name %q", n, name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("prom line %d: want 'value [timestamp]' after series, got %q", n, rest)
+	}
+	value, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("prom line %d: bad sample value %q", n, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("prom line %d: bad timestamp %q", n, fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// lintLabelSet parses the interior of a {...} label set, returning the
+// labels and the remainder of the line after the closing brace.
+func lintLabelSet(s string, n int) ([]Label, string, error) {
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("prom line %d: unterminated label set", n)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !lintLabelRe.MatchString(key) {
+			return nil, "", fmt.Errorf("prom line %d: invalid label name %q", n, key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("prom line %d: label %s value is not quoted", n, key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("prom line %d: unterminated label value for %s", n, key)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '\\' {
+				if s == "" {
+					return nil, "", fmt.Errorf("prom line %d: dangling escape in label %s", n, key)
+				}
+				esc := s[0]
+				s = s[1:]
+				switch esc {
+				case '\\', '"':
+					val.WriteByte(esc)
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("prom line %d: invalid escape \\%c in label %s", n, esc, key)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		return nil, "", fmt.Errorf("prom line %d: expected ',' or '}' after label %s", n, key)
+	}
+}
+
+// canonicalLabels renders labels sorted by key for duplicate detection
+// (label order is not significant in the exposition format).
+func canonicalLabels(ls []Label) string {
+	sorted := make([]Label, len(ls))
+	copy(sorted, ls)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var sb strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	return sb.String()
+}
+
+// lintHistSample folds one _bucket/_sum/_count sample into the per-series
+// histogram bookkeeping.
+func lintHistSample(hists map[string]*histSeries, family, name string, labels []Label, value float64, n int) error {
+	// Series identity excludes le.
+	base := make([]Label, 0, len(labels))
+	var le string
+	hasLe := false
+	for _, l := range labels {
+		if l.Key == "le" {
+			le, hasLe = l.Value, true
+			continue
+		}
+		base = append(base, l)
+	}
+	id := family + "{" + canonicalLabels(base) + "}"
+	h := hists[id]
+	if h == nil {
+		h = &histSeries{buckets: map[float64]float64{}, line: n}
+		hists[id] = h
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if !hasLe {
+			return fmt.Errorf("prom line %d: histogram bucket %s has no le label", n, name)
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("prom line %d: bad le value %q", n, le)
+		}
+		if _, dup := h.buckets[bound]; dup {
+			return fmt.Errorf("prom line %d: duplicate bucket le=%q for series %s", n, le, id)
+		}
+		h.buckets[bound] = value
+		if le == "+Inf" {
+			h.hasInf = true
+		}
+	case strings.HasSuffix(name, "_count"):
+		h.count = value
+		h.hasCnt = true
+	}
+	return nil
+}

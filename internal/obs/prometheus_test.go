@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fedRegistry builds a registry with a representative metric mix.
+func fedRegistry() *Registry {
+	r := NewRegistry()
+	base := L("scheme", "hle", "lock", "mcs")
+	r.Counter(MetricCommits, base).Add(100)
+	r.Counter(MetricAborts, base.With("cause", "conflict")).Add(40)
+	r.Counter(MetricAborts, base.With("cause", "capacity")).Add(2)
+	r.Gauge("run_cycles", base).Set(1 << 20)
+	h := r.Histogram(MetricLatency, base.With("path", "spec"))
+	for _, v := range []uint64{0, 1, 2, 3, 200, 20_000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusLints(t *testing.T) {
+	var buf bytes.Buffer
+	fedRegistry().WritePrometheus(&buf)
+	if err := LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("emitted exposition does not lint: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE htm_commits_total counter",
+		`htm_commits_total{scheme="hle",lock="mcs"} 100`,
+		`htm_aborts_total{scheme="hle",lock="mcs",cause="capacity"} 2`,
+		"# TYPE cs_latency_cycles histogram",
+		`cs_latency_cycles_bucket{scheme="hle",lock="mcs",path="spec",le="+Inf"} 6`,
+		`cs_latency_cycles_count{scheme="hle",lock="mcs",path="spec"} 6`,
+		`cs_latency_cycles_sum{scheme="hle",lock="mcs",path="spec"} 20206`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil)
+	h.Observe(0) // bucket 0
+	h.Observe(1) // bucket 1 (le 1)
+	h.Observe(5) // bucket 3 (le 7)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`lat_bucket{le="0"} 1`,
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="7"} 3`,
+		`lat_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusMultiRegistry: concatenating registries sorts families
+// globally and still lints.
+func TestWritePrometheusMultiRegistry(t *testing.T) {
+	a := fedRegistry()
+	b := NewRegistry()
+	b.Counter("fleet_jobs_total", nil).Add(16)
+	b.Gauge("fleet_workers", nil).Set(4)
+	var buf bytes.Buffer
+	WritePrometheus(&buf, a, b)
+	if err := LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("multi-registry exposition does not lint: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "fleet_jobs_total 16") {
+		t.Errorf("missing unlabelled fleet counter:\n%s", buf.String())
+	}
+}
+
+// TestWritePrometheusEscaping: label values with quotes, backslashes and
+// newlines survive the round trip through the linter.
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", L("k", "a\"b\\c\nd")).Inc()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if err := LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("escaped exposition does not lint: %v\n%s", err, buf.String())
+	}
+}
+
+func TestLintPrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad name":          "0bad{} 1\n",
+		"no value":          "metric_a\n",
+		"bad value":         "metric_a twelve\n",
+		"bad label name":    `metric_a{0k="v"} 1` + "\n",
+		"unquoted label":    `metric_a{k=v} 1` + "\n",
+		"unterminated":      `metric_a{k="v" 1` + "\n",
+		"duplicate series":  "metric_a 1\nmetric_a 2\n",
+		"dup series labels": `m{a="1",b="2"} 1` + "\n" + `m{b="2",a="1"} 1` + "\n",
+		"type after sample": "metric_a 1\n# TYPE metric_a counter\n",
+		"duplicate type":    "# TYPE m counter\n# TYPE m counter\n",
+		"unknown type":      "# TYPE m widget\n",
+		"hist no inf":       "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"hist not cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"hist inf vs count": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+		"hist bare sample":  "# TYPE h histogram\nh 4\n",
+	}
+	for name, doc := range cases {
+		if err := LintPrometheus(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: linter accepted invalid exposition:\n%s", name, doc)
+		}
+	}
+	// And the linter accepts a well-formed hand-written document.
+	good := "# a free comment\n# HELP m my metric\n# TYPE m counter\nm{a=\"x\"} 1\nm{a=\"y\"} 2 1700000000\n\n" +
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 12\nh_count 3\n"
+	if err := LintPrometheus(strings.NewReader(good)); err != nil {
+		t.Errorf("linter rejected valid exposition: %v", err)
+	}
+}
+
+// TestRegistryMergeCommutes: merging registries in any order yields
+// byte-identical expositions — the rollup determinism primitive.
+func TestRegistryMergeCommutes(t *testing.T) {
+	mk := func(seed int64) *Registry {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRegistry()
+		for i := 0; i < 20; i++ {
+			ls := L("scheme", []string{"hle", "slr"}[rng.Intn(2)], "lock", []string{"ttas", "mcs"}[rng.Intn(2)])
+			r.Counter(MetricCommits, ls).Add(uint64(rng.Intn(100)))
+			r.Gauge("run_cycles", ls).Add(int64(rng.Intn(1000)))
+			r.Histogram(MetricLatency, ls).Observe(uint64(rng.Intn(100_000)))
+		}
+		return r
+	}
+	srcs := []*Registry{mk(1), mk(2), mk(3), mk(4)}
+	render := func(order []int) string {
+		dst := NewRegistry()
+		for _, i := range order {
+			dst.Merge(srcs[i])
+		}
+		var buf bytes.Buffer
+		dst.WritePrometheus(&buf)
+		return buf.String()
+	}
+	want := render([]int{0, 1, 2, 3})
+	for _, order := range [][]int{{3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}} {
+		if got := render(order); got != want {
+			t.Fatalf("merge order %v changed the exposition:\n--- want ---\n%s--- got ---\n%s", order, want, got)
+		}
+	}
+}
+
+// TestRegistryMergeHistogramStats: merged histogram stats equal a single
+// histogram fed both sample streams.
+func TestRegistryMergeHistogramStats(t *testing.T) {
+	a, b, both := NewRegistry(), NewRegistry(), NewRegistry()
+	for i, v := range []uint64{0, 3, 9, 1 << 20, 17, 5, 2, 2} {
+		r := a
+		if i%2 == 1 {
+			r = b
+		}
+		r.Histogram("h", nil).Observe(v)
+		both.Histogram("h", nil).Observe(v)
+	}
+	dst := NewRegistry()
+	dst.Merge(a)
+	dst.Merge(b)
+	var got, want bytes.Buffer
+	dst.WritePrometheus(&got)
+	both.WritePrometheus(&want)
+	if got.String() != want.String() {
+		t.Fatalf("merged histogram differs from single-fed histogram:\n--- want ---\n%s--- got ---\n%s", want.String(), got.String())
+	}
+	if m := dst.Histogram("h", nil).Max(); m != 1<<20 {
+		t.Fatalf("merged max = %d, want %d", m, 1<<20)
+	}
+}
+
+func TestParseLabelsRoundTrip(t *testing.T) {
+	ls := L("scheme", "hle-scm", "lock", "mcs", "cause", "conflict")
+	got := ParseLabels(ls.String())
+	if got.String() != ls.String() {
+		t.Fatalf("round trip = %q, want %q", got.String(), ls.String())
+	}
+	if got.Get("lock") != "mcs" || got.Get("nope") != "" {
+		t.Fatalf("Get misbehaves on %v", got)
+	}
+	if ParseLabels("") != nil {
+		t.Fatal("empty labels should parse to nil")
+	}
+}
+
+// TestHotLinesMerge: merged tallies equal single-fed tallies and commute.
+func TestHotLinesMerge(t *testing.T) {
+	a, b, both := NewHotLines(), NewHotLines(), NewHotLines()
+	feed := func(h *HotLines, line, tid int, n int) {
+		for i := 0; i < n; i++ {
+			h.Record(line, tid)
+		}
+	}
+	feed(a, 7, 1, 3)
+	feed(b, 7, 2, 2)
+	feed(b, 9, 1, 5)
+	feed(both, 7, 1, 3)
+	feed(both, 7, 2, 2)
+	feed(both, 9, 1, 5)
+
+	m1 := NewHotLines()
+	m1.Merge(a)
+	m1.Merge(b)
+	m2 := NewHotLines()
+	m2.Merge(b)
+	m2.Merge(a)
+	var w1, w2, ww bytes.Buffer
+	m1.WriteText(&w1, 0, nil)
+	m2.WriteText(&w2, 0, nil)
+	both.WriteText(&ww, 0, nil)
+	if w1.String() != ww.String() {
+		t.Fatalf("merged table differs from single-fed table:\n--- want ---\n%s--- got ---\n%s", ww.String(), w1.String())
+	}
+	if w1.String() != w2.String() {
+		t.Fatal("hot-line merge does not commute")
+	}
+}
