@@ -33,7 +33,8 @@ func knownSchemes() []string {
 	for _, s := range harness.AllSchemes {
 		out = append(out, string(s))
 	}
-	return append(out, string(harness.SchemeHLESCMGrouped), string(harness.SchemeSLRSCMGrouped))
+	return append(out, string(harness.SchemeHLESCMGrouped), string(harness.SchemeSLRSCMGrouped),
+		string(harness.SchemeAdaptiveHLE), string(harness.SchemeAdaptiveSLR))
 }
 
 func knownLocks() []string {

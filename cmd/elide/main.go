@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"elision/internal/core"
 	"elision/internal/fleet"
 	"elision/internal/harness"
 	"elision/internal/htm"
@@ -21,6 +22,38 @@ import (
 	"elision/internal/obs/causality"
 	"elision/internal/trace"
 )
+
+// knownSchemes / knownLocks mirror the factory's accepted names so a typo is
+// a flag error with usage, not a harness panic mid-run.
+var knownSchemes = []string{
+	core.SchemeNameNoLock, core.SchemeNameStandard, core.SchemeNameHLE,
+	core.SchemeNameHLERetries, core.SchemeNameHLESCM, core.SchemeNameOptSLR,
+	core.SchemeNameSLRSCM, core.SchemeNameHLESCMGrouped, core.SchemeNameSLRSCMGrouped,
+	core.SchemeNameAdaptiveHLE, core.SchemeNameAdaptiveSLR,
+}
+
+var knownLocks = []string{
+	core.LockNameTTAS, core.LockNameTTASBackoff, core.LockNameMCS,
+	core.LockNameTicketHLE, core.LockNameCLHHLE,
+}
+
+func knownScheme(name string) bool {
+	for _, s := range knownSchemes {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+func knownLock(name string) bool {
+	for _, l := range knownLocks {
+		if l == name {
+			return true
+		}
+	}
+	return false
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -32,13 +65,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("elide", flag.ContinueOnError)
 	threads := fs.Int("threads", 8, "simulated hardware threads")
-	schemeName := fs.String("scheme", "hle", "scheme: standard|hle|hle-retries|hle-scm|opt-slr|slr-scm|hle-scm-grouped|slr-scm-grouped|nolock")
+	schemeName := fs.String("scheme", "hle", "scheme: standard|hle|hle-retries|hle-scm|opt-slr|slr-scm|hle-scm-grouped|slr-scm-grouped|adaptive-hle|adaptive-slr|nolock")
 	lockName := fs.String("lock", "ttas", "lock: ttas|ttas-backoff|mcs|ticket-hle|clh-hle")
+	adaptive := fs.String("adaptive", "", "adaptive-family config, retry/forfeit per abort class as conflict,busy,capacity,other (e.g. 5/2,16/5,0/8,3/3); requires -scheme adaptive-hle|adaptive-slr")
 	structure := fs.String("structure", "rbtree", "data structure: rbtree|hashtable")
 	size := fs.Int("size", 1024, "steady-state element count")
 	mixFlag := fs.String("mix", "10,10", "insertPct,deletePct (rest lookups)")
 	budget := fs.Uint64("budget", 2_000_000, "virtual-cycle budget per thread")
 	seed := fs.Uint64("seed", 42, "random seed")
+	quantum := fs.Uint64("quantum", 128, "scheduler quantum in cycles (cmd/tune's lemming workload uses 5000)")
 	smt := fs.Bool("smt", false, "4-core/8-hyperthread topology")
 	breakdown := fs.Bool("abort-breakdown", false, "print the abort-cause histogram")
 	traceJSON := fs.String("trace-json", "", "write the run's Chrome/Perfetto trace-event JSON to this file")
@@ -57,6 +92,27 @@ func run(args []string) error {
 		return err
 	}
 
+	if !knownScheme(*schemeName) {
+		return fmt.Errorf("elide: unknown -scheme %q (known: %s)", *schemeName, strings.Join(knownSchemes, "|"))
+	}
+	if !knownLock(*lockName) {
+		return fmt.Errorf("elide: unknown -lock %q (known: %s)", *lockName, strings.Join(knownLocks, "|"))
+	}
+	if *adaptive != "" {
+		if !core.AdaptiveSchemeName(*schemeName) {
+			return fmt.Errorf("elide: -adaptive requires -scheme %s or %s (got %q)",
+				core.SchemeNameAdaptiveHLE, core.SchemeNameAdaptiveSLR, *schemeName)
+		}
+		if _, err := core.ParseAdaptiveConfig(*adaptive); err != nil {
+			return fmt.Errorf("elide: bad -adaptive %q: %w", *adaptive, err)
+		}
+	}
+	if *threads < 1 {
+		return fmt.Errorf("elide: -threads must be >= 1 (got %d)", *threads)
+	}
+	if *quantum == 0 {
+		return fmt.Errorf("elide: -quantum must be > 0")
+	}
 	var mix harness.Mix
 	if _, err := fmt.Sscanf(strings.ReplaceAll(*mixFlag, ",", " "), "%d %d", &mix.InsertPct, &mix.DeletePct); err != nil {
 		return fmt.Errorf("elide: bad -mix %q: %w", *mixFlag, err)
@@ -76,7 +132,8 @@ func run(args []string) error {
 		Lock:         harness.LockID(*lockName),
 		BudgetCycles: *budget,
 		Seed:         *seed,
-		Quantum:      128,
+		Quantum:      *quantum,
+		ACfg:         *adaptive,
 	}
 	if *smt {
 		cfg.Cores = 4
@@ -107,6 +164,15 @@ func run(args []string) error {
 	fmt.Printf("  aborts            %d (%.2f attempts/op)\n", s.Aborts, s.AttemptsPerOp())
 	if s.AuxAcquires > 0 {
 		fmt.Printf("  serializing path  %d entries\n", s.AuxAcquires)
+	}
+	if core.AdaptiveSchemeName(*schemeName) {
+		fmt.Printf("  forfeit windows   %d opened, %d closed, %d ops forfeited\n",
+			s.ForfeitEntries, s.ForfeitExits, s.ForfeitOps)
+		for cl := core.AbortClass(0); int(cl) < core.NumAbortClasses; cl++ {
+			if n := s.ExhaustedByClass[cl]; n > 0 {
+				fmt.Printf("    budget exhausted on %-9s %d\n", cl, n)
+			}
+		}
 	}
 	if *breakdown {
 		fmt.Println("  final-abort causes:")

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"elision/internal/core"
 	"elision/internal/fleet"
 	"elision/internal/harness"
 	"elision/internal/htm"
@@ -40,6 +41,7 @@ func run(args []string, stdout io.Writer) error {
 	hotLines := fs.Int("hot-lines", 0, "print the §4 lemming run's top-N conflict hot lines")
 	j := fs.Int("j", 0, "parallel fleet workers (0 = all host CPUs)")
 	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
+	adaptive := fs.String("adaptive", "", "also emit the adaptive-frontier table (results/adaptive.txt) comparing the adaptive family under this config (e.g. a cmd/tune winner, or 'default') against the fixed-policy schemes")
 	rollupOut := fs.String("rollup", "", "after the figures, re-run every computed point observed and write the campaign speculation-health rollup here ('-' = stdout)")
 	prom := fs.String("prom", "", "write the campaign rollup plus fleet self-metrics as a Prometheus exposition here (implies the observed pass)")
 	fleetTrace := fs.String("fleet-trace", "", "write the fleet's self-profile as a Perfetto/Chrome trace here")
@@ -52,6 +54,14 @@ func run(args []string, stdout io.Writer) error {
 	fc, err := fleet.Flags(*j, *shards)
 	if err != nil {
 		return err
+	}
+	acfg := *adaptive
+	if acfg == "default" {
+		acfg = ""
+	} else if acfg != "" {
+		if _, err := core.ParseAdaptiveConfig(acfg); err != nil {
+			return fmt.Errorf("reproduce: bad -adaptive %q: %w", acfg, err)
+		}
 	}
 
 	sc := harness.DefaultScale()
@@ -130,6 +140,11 @@ func run(args []string, stdout io.Writer) error {
 		{"fairness", func() ([]harness.Table, error) { return harness.FairnessComparison(sc), nil }},
 		{"sensitivity", func() ([]harness.Table, error) { return harness.CostSensitivity(sc), nil }},
 		{"fairlocks", func() ([]harness.Table, error) { return harness.FairLockLemming(r, sc), nil }},
+	}
+	if *adaptive != "" {
+		jobs = append(jobs, job{"adaptive", func() ([]harness.Table, error) {
+			return harness.AdaptiveFrontier(r, sc, acfg), nil
+		}})
 	}
 	for _, j := range jobs {
 		start := time.Now()

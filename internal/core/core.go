@@ -74,6 +74,19 @@ type Outcome struct {
 	AuxDwell uint64
 	// LastCause is the abort cause of the final failed attempt, if any.
 	LastCause htm.Cause
+	// Forfeited is true when an adaptive scheme skipped elision for this
+	// section because the thread was inside a forfeit window.
+	Forfeited bool
+	// ForfeitEntered is true when this section exhausted an abort class's
+	// retry budget and opened a forfeit window for the thread.
+	ForfeitEntered bool
+	// ForfeitExited is true when this section consumed the thread's last
+	// forfeited acquisition (the window closes; the next section may elide).
+	ForfeitExited bool
+	// ExhaustedClass is the abort class whose budget ran out. Meaningful
+	// only when ForfeitEntered is set (adaptive schemes record ClassNone
+	// otherwise; non-adaptive schemes leave the zero value).
+	ExhaustedClass AbortClass
 }
 
 // Scheme executes critical sections under one locking/elision policy.

@@ -27,7 +27,17 @@ const (
 	// groups.
 	SchemeNameHLESCMGrouped = "hle-scm-grouped"
 	SchemeNameSLRSCMGrouped = "slr-scm-grouped"
+	// Adaptive family (ck_elide-style per-abort-class budgets and forfeit
+	// windows); built with DefaultAdaptiveConfig, tuned via
+	// (*Adaptive).SetConfig.
+	SchemeNameAdaptiveHLE = "adaptive-hle"
+	SchemeNameAdaptiveSLR = "adaptive-slr"
 )
+
+// AdaptiveSchemeName reports whether name belongs to the adaptive family.
+func AdaptiveSchemeName(name string) bool {
+	return name == SchemeNameAdaptiveHLE || name == SchemeNameAdaptiveSLR
+}
 
 // GroupedSCMGroups is the auxiliary-lock count used by the factory's
 // grouped-SCM schemes.
@@ -73,6 +83,10 @@ func BuildScheme(hm *htm.Memory, name string, l locks.Elidable, procs int) (Sche
 		return NewGroupedSCM(hm, l, SCMOverHLE, GroupedSCMGroups, procs), nil
 	case SchemeNameSLRSCMGrouped:
 		return NewGroupedSCM(hm, l, SCMOverSLR, GroupedSCMGroups, procs), nil
+	case SchemeNameAdaptiveHLE:
+		return NewAdaptive(hm, l, AdaptiveOverHLE, procs), nil
+	case SchemeNameAdaptiveSLR:
+		return NewAdaptive(hm, l, AdaptiveOverSLR, procs), nil
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %q", name)
 	}

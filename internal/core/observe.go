@@ -36,5 +36,8 @@ func (s *Observed) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 	start := p.Clock()
 	o := s.inner.Critical(p, body)
 	s.col.Op(p.Clock(), p.ID(), o.Speculative, p.Clock()-start, o.Attempts-1, o.AuxUsed, o.AuxDwell)
+	if o.Forfeited || o.ForfeitEntered || o.ForfeitExited {
+		s.col.AdaptiveOp(o.Forfeited, o.ForfeitEntered, o.ForfeitExited, o.ExhaustedClass.String())
+	}
 	return o
 }

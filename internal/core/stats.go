@@ -22,6 +22,16 @@ type Stats struct {
 	AuxAcquires uint64
 	// ByCause histograms the final abort cause of each failed attempt run.
 	ByCause [htm.NumCauses]uint64
+	// ForfeitOps counts operations completed inside a forfeit window
+	// (adaptive schemes: elision skipped, straight to the lock).
+	ForfeitOps uint64
+	// ForfeitEntries / ForfeitExits count forfeit windows opened (a retry
+	// budget exhausted) and closed (last forfeited acquisition consumed).
+	ForfeitEntries uint64
+	ForfeitExits   uint64
+	// ExhaustedByClass histograms ForfeitEntries by the abort class whose
+	// budget ran out.
+	ExhaustedByClass [NumAbortClasses]uint64
 }
 
 // Add accumulates one outcome.
@@ -40,6 +50,21 @@ func (s *Stats) Add(o Outcome) {
 	if o.Aborts > 0 {
 		s.ByCause[o.LastCause]++
 	}
+	if o.Forfeited {
+		s.ForfeitOps++
+	}
+	if o.ForfeitEntered {
+		s.ForfeitEntries++
+		// Guard the index: a broken scheme (modelcheck mutants) may flag an
+		// entry without a valid class; that is the oracles' finding to make,
+		// not a panic's.
+		if o.ExhaustedClass >= 0 && int(o.ExhaustedClass) < NumAbortClasses {
+			s.ExhaustedByClass[o.ExhaustedClass]++
+		}
+	}
+	if o.ForfeitExited {
+		s.ForfeitExits++
+	}
 }
 
 // Merge folds other into s.
@@ -52,6 +77,12 @@ func (s *Stats) Merge(other Stats) {
 	s.AuxAcquires += other.AuxAcquires
 	for i := range s.ByCause {
 		s.ByCause[i] += other.ByCause[i]
+	}
+	s.ForfeitOps += other.ForfeitOps
+	s.ForfeitEntries += other.ForfeitEntries
+	s.ForfeitExits += other.ForfeitExits
+	for i := range s.ExhaustedByClass {
+		s.ExhaustedByClass[i] += other.ExhaustedByClass[i]
 	}
 }
 

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAdaptiveFrontierShape: the frontier renders one throughput row per
+// scheme, adaptive rows carry the candidate config, and the forfeit table
+// only lists schemes with window activity.
+func TestAdaptiveFrontierShape(t *testing.T) {
+	r := NewRunner()
+	sc := TestScale()
+	tables := AdaptiveFrontier(r, sc, "2/2,4/2,0/4,2/2")
+	if len(tables) != 2 {
+		t.Fatalf("AdaptiveFrontier returned %d tables, want 2", len(tables))
+	}
+	thr := tables[0]
+	if len(thr.Rows) != len(adaptiveFrontierSchemes) {
+		t.Fatalf("throughput table has %d rows, want %d", len(thr.Rows), len(adaptiveFrontierSchemes))
+	}
+	if !strings.Contains(thr.Title, "2/2,4/2,0/4,2/2") {
+		t.Fatalf("title %q does not name the candidate config", thr.Title)
+	}
+	seen := map[string]bool{}
+	for _, row := range thr.Rows {
+		seen[row[0]] = true
+	}
+	for _, s := range []string{"adaptive-hle", "adaptive-slr", "standard", "opt-slr"} {
+		if !seen[s] {
+			t.Fatalf("throughput table is missing scheme %s (rows %v)", s, thr.Rows)
+		}
+	}
+	for _, row := range tables[1].Rows {
+		if row[0] == "(none)" {
+			continue
+		}
+		if !strings.HasPrefix(row[0], "adaptive-") {
+			t.Fatalf("non-adaptive scheme %q reported forfeit activity", row[0])
+		}
+	}
+}
+
+// TestAdaptiveFrontierDeterministic: same scale and config twice on fresh
+// runners gives byte-identical tables (memoization plays no role across
+// runners).
+func TestAdaptiveFrontierDeterministic(t *testing.T) {
+	sc := TestScale()
+	render := func() string {
+		var b strings.Builder
+		for _, tab := range AdaptiveFrontier(NewRunner(), sc, "") {
+			tab.Render(&b)
+		}
+		return b.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("frontier not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -20,8 +20,9 @@ type DiagnosePoint struct {
 }
 
 // DefaultDiagnosePanel spans the paper's story: plain HLE over the three
-// fair-lock shapes and TTAS (§4's lemming victims and its recoverer), and
-// the two software repairs (§5 opt-SLR, §6 SCM) over MCS.
+// fair-lock shapes and TTAS (§4's lemming victims and its recoverer), the
+// two software repairs (§5 opt-SLR, §6 SCM) over MCS, and the adaptive
+// family (ck_elide-style budgets) over MCS.
 func DefaultDiagnosePanel() []DiagnosePoint {
 	return []DiagnosePoint{
 		{SchemeHLE, LockMCS},
@@ -30,6 +31,8 @@ func DefaultDiagnosePanel() []DiagnosePoint {
 		{SchemeHLE, LockTTAS},
 		{SchemeOptSLR, LockMCS},
 		{SchemeHLESCM, LockMCS},
+		{SchemeAdaptiveHLE, LockMCS},
+		{SchemeAdaptiveSLR, LockMCS},
 	}
 }
 
@@ -57,6 +60,11 @@ type DiagnoseResult struct {
 	// ThroughputOpsPerMcycle is the point's realized throughput.
 	ThroughputOpsPerMcycle float64           `json:"throughput_ops_per_mcycle"`
 	AbortsByClass          map[string]uint64 `json:"aborts_by_class"`
+	// ForfeitEntries / ForfeitOps surface the adaptive family's forfeit-window
+	// activity (zero for non-adaptive schemes): windows opened by budget
+	// exhaustion, and operations that skipped elision inside a window.
+	ForfeitEntries uint64 `json:"forfeit_entries"`
+	ForfeitOps     uint64 `json:"forfeit_ops"`
 }
 
 // Diagnosis is the full verdict document for one workload across a panel.
@@ -92,6 +100,8 @@ func DiagnosePointRun(cfg DSConfig, ccfg causality.Config) DiagnoseResult {
 		AuxRejoinRate:          r.AuxRejoinRate(),
 		ThroughputOpsPerMcycle: res.Throughput(),
 		AbortsByClass:          r.AbortsByClass,
+		ForfeitEntries:         res.Stats.ForfeitEntries,
+		ForfeitOps:             res.Stats.ForfeitOps,
 	}
 }
 

@@ -48,6 +48,11 @@ const (
 	SchemeHLESCMGrouped SchemeID = "hle-scm-grouped"
 	// SchemeSLRSCMGrouped is grouped SCM over SLR attempts.
 	SchemeSLRSCMGrouped SchemeID = "slr-scm-grouped"
+	// SchemeAdaptiveHLE / SchemeAdaptiveSLR are the ck_elide-style adaptive
+	// family: per-abort-class retry budgets with forfeit windows, configured
+	// per point via DSConfig.ACfg.
+	SchemeAdaptiveHLE SchemeID = "adaptive-hle"
+	SchemeAdaptiveSLR SchemeID = "adaptive-slr"
 )
 
 // AllSchemes is §7's evaluation order.
@@ -110,6 +115,11 @@ type DSConfig struct {
 	// Cores enables the SMT model (0 = one proc per core). The paper's
 	// testbed maps to Cores=4 with Threads=8.
 	Cores int
+	// ACfg is the adaptive-family configuration in its canonical string form
+	// (core.AdaptiveConfig.String, e.g. "5/2,16/5,0/8,3/3"). Empty means the
+	// default config. Ignored by non-adaptive schemes; kept a string so
+	// DSConfig stays comparable for memoization.
+	ACfg string
 }
 
 // Slot is one time-slot sample for Figure 3.

@@ -181,7 +181,21 @@ func (in *Instance) RunObserved(cfg DSConfig, col *obs.Collector, tr *trace.Trac
 	in.prefill(cfg, ds, domain)
 
 	l := buildLock(hm, cfg.Lock, cfg.Threads)
-	s := core.Observe(buildScheme(hm, cfg.Scheme, l, cfg.Threads), col)
+	inner := buildScheme(hm, cfg.Scheme, l, cfg.Threads)
+	if cfg.ACfg != "" {
+		a, ok := inner.(*core.Adaptive)
+		if !ok {
+			panic(fmt.Sprintf("harness: ACfg %q set on non-adaptive scheme %s", cfg.ACfg, cfg.Scheme))
+		}
+		acfg, err := core.ParseAdaptiveConfig(cfg.ACfg)
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v (config %+v)", err, cfg))
+		}
+		if err := a.SetConfig(acfg); err != nil {
+			panic(fmt.Sprintf("harness: %v (config %+v)", err, cfg))
+		}
+	}
+	s := core.Observe(inner, col)
 	var lockLines []int
 	if lr, ok := l.(locks.LineReporter); ok {
 		lockLines = lr.LockLines()

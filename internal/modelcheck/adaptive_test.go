@@ -1,0 +1,111 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+
+	"elision/internal/core"
+	"elision/internal/htm"
+	"elision/internal/locks"
+	"elision/internal/sim"
+)
+
+// TestAdaptiveCasesClean: the real adaptive family passes every oracle on a
+// pinned spread of generated cases, including the new forfeit-discipline
+// oracle (armed only for adaptive profiles).
+func TestAdaptiveCasesClean(t *testing.T) {
+	for _, scheme := range []string{"adaptive-hle", "adaptive-slr"} {
+		for _, lock := range []string{"ttas", "mcs"} {
+			for i := 0; i < 6; i++ {
+				c := GenCase(scheme, lock, comboSeed(3, 0, i))
+				if c.ACfg == "" {
+					t.Fatalf("GenCase(%s) drew no adaptive config", scheme)
+				}
+				if r := Run(c); len(r.Violations) > 0 {
+					t.Fatalf("%s/%s: %s", scheme, lock, r.Violations[0].Detail)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveReproCarriesConfig: the acfg field must survive the repro
+// round trip and a malformed value must be a config violation, not a panic.
+func TestAdaptiveReproCarriesConfig(t *testing.T) {
+	c := GenCase("adaptive-slr", "mcs", 11)
+	if !strings.Contains(c.Repro(), ";acfg="+c.ACfg+";") {
+		t.Fatalf("repro %q does not carry acfg %q", c.Repro(), c.ACfg)
+	}
+	got, err := ParseRepro(c.Repro())
+	if err != nil || got != c {
+		t.Fatalf("round trip: %v, %+v vs %+v", err, got, c)
+	}
+	c.ACfg = "5/0,1/1,1/1,1/1" // zero-length forfeit window
+	r := Run(c)
+	if len(r.Violations) == 0 || r.Violations[0].Oracle != OracleConfig {
+		t.Fatalf("malformed acfg not flagged as config violation: %+v", r.Violations)
+	}
+}
+
+// liarForfeit claims every operation ran forfeited: the forfeit-discipline
+// oracle must flag the very first op (no window was ever opened).
+type liarForfeit struct{ inner core.Scheme }
+
+func (s *liarForfeit) Name() string { return "liar-forfeit" }
+
+func (s *liarForfeit) Critical(p *sim.Proc, body func(c htm.Ctx)) core.Outcome {
+	o := s.inner.Critical(p, body)
+	o.Forfeited = true
+	o.Speculative = false
+	return o
+}
+
+// muteForfeit keeps the real scheme's ForfeitEntered reports (so the
+// oracle's replayed window opens) but hides the forfeited ops that must
+// follow inside the window — the oracle must notice the suppression.
+type muteForfeit struct{ inner core.Scheme }
+
+func (s *muteForfeit) Name() string { return "mute-forfeit" }
+
+func (s *muteForfeit) Critical(p *sim.Proc, body func(c htm.Ctx)) core.Outcome {
+	o := s.inner.Critical(p, body)
+	o.Forfeited = false
+	o.ForfeitExited = false
+	return o
+}
+
+// TestForfeitOracleTeeth proves the forfeit-discipline oracle fires in both
+// directions: phantom forfeits (outside any window) and suppressed forfeits
+// (inside one).
+func TestForfeitOracleTeeth(t *testing.T) {
+	build := func(wrap func(core.Scheme) core.Scheme) SchemeBuilder {
+		return func(hm *htm.Memory, c Case) (core.Scheme, locks.Elidable, error) {
+			l, err := core.BuildLock(hm, c.Lock, c.Threads)
+			if err != nil {
+				return nil, nil, err
+			}
+			s, err := core.BuildScheme(hm, c.Scheme, l, c.Threads)
+			if err != nil {
+				return nil, nil, err
+			}
+			return wrap(s), l, nil
+		}
+	}
+	caught := func(name string, wrap func(core.Scheme) core.Scheme, wantDetail string) {
+		t.Helper()
+		for i := 0; i < 16; i++ {
+			c := GenCase("adaptive-slr", "ttas", comboSeed(9, 1, i))
+			r := RunWith(c, build(wrap))
+			for _, v := range r.Violations {
+				if v.Oracle == OracleForfeit && strings.Contains(v.Detail, wantDetail) {
+					return
+				}
+			}
+		}
+		t.Fatalf("%s escaped the forfeit-discipline oracle across 16 seeds", name)
+	}
+	caught("liar-forfeit", func(s core.Scheme) core.Scheme { return &liarForfeit{inner: s} },
+		"outside any forfeit window")
+	caught("mute-forfeit", func(s core.Scheme) core.Scheme { return &muteForfeit{inner: s} },
+		"speculated inside a forfeit window")
+}

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"elision/internal/core"
 )
 
 // Structure names for Case.Struct.
@@ -71,6 +73,11 @@ type Case struct {
 	// MaxRetries is the speculative retry budget applied to retrying
 	// schemes (HLE-retries, SLR, SCM).
 	MaxRetries int
+	// ACfg is the adaptive-family configuration in canonical string form
+	// (core.AdaptiveConfig.String). Only meaningful when Scheme names an
+	// adaptive scheme; withDefaults fills the core default then. The form
+	// contains no ';' or '=', so it round-trips through reproducer strings.
+	ACfg string
 	// Quantum, Cores and Jitter perturb the schedule (sim.Config fields).
 	Quantum uint64
 	Cores   int
@@ -103,6 +110,9 @@ func (c Case) withDefaults() Case {
 	if c.Objs == 1 {
 		c.MovePct = 0
 	}
+	if core.AdaptiveSchemeName(c.Scheme) && c.ACfg == "" {
+		c.ACfg = core.DefaultAdaptiveConfig().String()
+	}
 	return c
 }
 
@@ -114,9 +124,13 @@ func (c Case) Repro() string {
 	if c.Mutant != "" {
 		fmt.Fprintf(&b, ";mutant=%s", c.Mutant)
 	}
-	fmt.Fprintf(&b, ";struct=%s;threads=%d;ops=%d;keys=%d;objs=%d;read=%d;move=%d;skew=%d;retries=%d;quantum=%d;cores=%d;jitter=%d;seed=0x%x",
+	fmt.Fprintf(&b, ";struct=%s;threads=%d;ops=%d;keys=%d;objs=%d;read=%d;move=%d;skew=%d;retries=%d;quantum=%d;cores=%d;jitter=%d",
 		c.Struct, c.Threads, c.Ops, c.Keys, c.Objs, c.ReadPct, c.MovePct,
-		c.Skew, c.MaxRetries, c.Quantum, c.Cores, c.Jitter, c.Seed)
+		c.Skew, c.MaxRetries, c.Quantum, c.Cores, c.Jitter)
+	if c.ACfg != "" {
+		fmt.Fprintf(&b, ";acfg=%s", c.ACfg)
+	}
+	fmt.Fprintf(&b, ";seed=0x%x", c.Seed)
 	return b.String()
 }
 
@@ -165,6 +179,8 @@ func ParseRepro(s string) (Case, error) {
 			c.Cores, err = strconv.Atoi(v)
 		case "jitter":
 			c.Jitter, err = strconv.ParseUint(v, 10, 64)
+		case "acfg":
+			c.ACfg = v
 		case "seed":
 			c.Seed, err = strconv.ParseUint(strings.TrimPrefix(v, "0x"), 16, 64)
 		default:
@@ -224,6 +240,17 @@ func GenCase(scheme, lock string, seed uint64) Case {
 	if c.Threads >= 4 && r.intn(2) == 0 {
 		c.Cores = c.Threads / 2 // SMT siblings
 	}
+	// Adaptive-family cases also draw a policy config. The draws happen after
+	// every common draw, so non-adaptive schemes' case streams are unchanged
+	// by the family's existence (pinned seeds stay pinned).
+	if core.AdaptiveSchemeName(scheme) {
+		var cfg core.AdaptiveConfig
+		for i := range cfg.Retry {
+			cfg.Retry[i] = r.pick(0, 1, 2, 4, 10)
+			cfg.Forfeit[i] = r.pick(1, 2, 4, 8)
+		}
+		c.ACfg = cfg.String()
+	}
 	return c
 }
 
@@ -233,6 +260,7 @@ func RealSchemes() []string {
 	return []string{
 		"standard", "hle", "hle-retries", "hle-scm",
 		"opt-slr", "slr-scm", "hle-scm-grouped", "slr-scm-grouped",
+		"adaptive-hle", "adaptive-slr",
 	}
 }
 

@@ -13,6 +13,13 @@
 //	unfair-ticket — a ticket lock whose release rolls the ticket counter
 //	                back over other requesters' outstanding tickets,
 //	                destroying fairness and eventually progress.
+//	adaptive-ignore-forfeit — an "adaptive" scheme that classifies aborts
+//	                and spends per-class budgets like the real family, but on
+//	                exhaustion refills the budget and keeps speculating
+//	                instead of opening a forfeit window: the abort-bound
+//	                oracle's per-op ceiling (the config's summed budgets)
+//	                is exceeded as soon as contention persists past one
+//	                refill.
 //
 // The package is build-tag-free: the mutants compile into every build and
 // the pinned-seed catch tests run in plain `go test`.
@@ -49,6 +56,13 @@ func All() []modelcheck.Mutant {
 			Lock:          core.LockNameTicketHLE,
 			SeedBudget:    8,
 			Build:         buildUnfairTicket,
+		},
+		{
+			Name:          "adaptive-ignore-forfeit",
+			ProfileScheme: core.SchemeNameAdaptiveSLR,
+			Lock:          core.LockNameTTAS,
+			SeedBudget:    8,
+			Build:         buildIgnoreForfeit,
 		},
 	}
 }
@@ -215,4 +229,80 @@ func (l *unfairTicket) Unlock(p *sim.Proc) {
 func (l *unfairTicket) AcquireNT(p *sim.Proc) bool {
 	l.Lock(p)
 	return true
+}
+
+// --- adaptive-ignore-forfeit ------------------------------------------------
+
+// ignoreForfeitAdaptive spends per-class retry budgets like the real
+// adaptive-slr, but on exhaustion it refills the budget and keeps
+// speculating — no forfeit window, no fallback — so a single operation's
+// abort count sails past the config's MaxAborts ceiling. A hard cap on total
+// aborts per operation keeps the mutant terminating (the checker detects
+// deadlock, not livelock); the cap sits far above the bound, so the
+// abort-bound oracle fires long before the net does.
+type ignoreForfeitAdaptive struct {
+	m   *htm.Memory
+	l   locks.Elidable
+	cfg core.AdaptiveConfig
+}
+
+var _ core.Scheme = (*ignoreForfeitAdaptive)(nil)
+
+func buildIgnoreForfeit(hm *htm.Memory, c modelcheck.Case) (core.Scheme, locks.Elidable, error) {
+	l, err := core.BuildLock(hm, c.Lock, c.Threads)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg, err := core.ParseAdaptiveConfig(c.ACfg)
+	if err != nil {
+		cfg = core.DefaultAdaptiveConfig()
+	}
+	return &ignoreForfeitAdaptive{m: hm, l: l, cfg: cfg}, l, nil
+}
+
+func (s *ignoreForfeitAdaptive) Name() string { return "adaptive-ignore-forfeit" }
+
+func (s *ignoreForfeitAdaptive) Critical(p *sim.Proc, body func(c htm.Ctx)) core.Outcome {
+	var o core.Outcome
+	rem := s.cfg.Retry
+	net := 2*s.cfg.MaxAborts() + 4
+	for {
+		o.Attempts++
+		st := s.m.Atomic(p, func(tx *htm.Tx) {
+			body(htm.Ctx{P: p, M: s.m})
+			if s.l.HeldTx(tx) {
+				tx.Abort(core.CodeSLRLockHeld)
+			}
+		})
+		if st.Committed {
+			o.Speculative = true
+			return o
+		}
+		o.Aborts++
+		o.LastCause = st.Cause
+		cl := core.ClassifyAbort(st)
+		if rem[cl] > 0 {
+			rem[cl]--
+			if cl == core.ClassBusy {
+				s.l.WaitUntilFree(p)
+			}
+			continue
+		}
+		if o.Aborts < net {
+			// BUG: the class's budget is exhausted — the adaptive contract
+			// says open a forfeit window and take the lock. Refilling and
+			// re-speculating into the same storm breaks the per-op abort
+			// bound (and, in production, the progress story).
+			rem = s.cfg.Retry
+			continue
+		}
+		break
+	}
+	o.Attempts++
+	s.l.Lock(p)
+	s.m.TraceLock(p)
+	body(htm.Ctx{P: p, M: s.m})
+	s.l.Unlock(p)
+	s.m.TraceUnlock(p)
+	return o
 }

@@ -10,9 +10,10 @@ import (
 // point of the suite is not merely "some oracle fired" but that the
 // *intended* safety property has teeth.
 var wantOracle = map[string]string{
-	"stale-slr":     modelcheck.OracleCommitSafety,
-	"scm-skip-aux":  modelcheck.OracleSCMStructure,
-	"unfair-ticket": modelcheck.OracleProgress,
+	"stale-slr":               modelcheck.OracleCommitSafety,
+	"scm-skip-aux":            modelcheck.OracleSCMStructure,
+	"unfair-ticket":           modelcheck.OracleProgress,
+	"adaptive-ignore-forfeit": modelcheck.OracleAbortBound,
 }
 
 // TestMutantsCaughtWithinBudget is the checker's own regression gate:

@@ -22,6 +22,11 @@ const (
 	OracleProgress        = "progress"
 	OracleConservation    = "conservation"
 	OracleOpsAccounting   = "ops-accounting"
+	// OracleForfeit is the adaptive-family window discipline: after a budget
+	// exhaustion a thread's next Forfeit[class] acquisitions must run
+	// forfeited (no speculation), the last one must close the window, and no
+	// acquisition outside a window may report Forfeited.
+	OracleForfeit = "forfeit-discipline"
 )
 
 // Violation is one oracle failure observed in a run.
@@ -53,15 +58,21 @@ type profile struct {
 	// over TTAS-family locks only guarantees >= (a failed non-transactional
 	// TAS burns an attempt without an abort or a completion).
 	attemptsExact bool
+	// adaptive, when non-nil, is the parsed adaptive-family config; it arms
+	// the forfeit-discipline oracle and generalizes abortBound from the flat
+	// MaxRetries to the config's summed per-class budgets.
+	adaptive *core.AdaptiveConfig
 }
 
 func unbounded(int) int { return -1 }
 
-// profileFor resolves the oracle profile for a scheme/lock combination.
-// Unknown scheme names get the permissive profile (everything universal
-// still applies: serializability, mutual exclusion, commit safety,
-// conservation).
-func profileFor(scheme, lock string) profile {
+// profileFor resolves the oracle profile for a case's scheme/lock
+// combination. Unknown scheme names get the permissive profile (everything
+// universal still applies: serializability, mutual exclusion, commit safety,
+// conservation). Adaptive cases must carry a parseable ACfg — RunWith
+// validates it before resolving the profile.
+func profileFor(c Case) profile {
+	scheme, lock := c.Scheme, c.Lock
 	switch scheme {
 	case core.SchemeNameStandard:
 		return profile{abortBound: func(int) int { return 0 }, attemptsExact: true}
@@ -84,6 +95,22 @@ func profileFor(scheme, lock string) profile {
 			auxOnAbort:    true,
 			abortBound:    func(mr int) int { return mr + 1 },
 			attemptsExact: true,
+		}
+	case core.SchemeNameAdaptiveHLE, core.SchemeNameAdaptiveSLR:
+		cfg, err := core.ParseAdaptiveConfig(c.ACfg)
+		if err != nil {
+			// RunWith reports the config violation; hold the run to the
+			// universal oracles only.
+			return profile{abortBound: unbounded}
+		}
+		// The bound is the config's own worst case — the sum of every class's
+		// budget plus the final disqualifying abort — not a function of the
+		// case's flat MaxRetries.
+		bound := cfg.MaxAborts()
+		return profile{
+			abortBound:    func(int) int { return bound },
+			attemptsExact: true,
+			adaptive:      &cfg,
 		}
 	default:
 		return profile{abortBound: unbounded}

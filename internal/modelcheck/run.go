@@ -54,9 +54,11 @@ func factoryBuilder(hm *htm.Memory, c Case) (core.Scheme, locks.Elidable, error)
 	return s, l, nil
 }
 
-// applyMaxRetries pushes the case's retry budget into the built scheme.
+// applyMaxRetries pushes the case's retry policy into the built scheme.
 // Raw HLE (SpecRetries == 0) keeps its semantics: its retry loop is the
-// hardware re-execution, not a budgeted policy.
+// hardware re-execution, not a budgeted policy. Adaptive schemes ignore the
+// flat MaxRetries and take the case's ACfg instead (validated by RunWith
+// before the build).
 func applyMaxRetries(s core.Scheme, c Case) {
 	switch v := s.(type) {
 	case *core.HLE:
@@ -69,6 +71,12 @@ func applyMaxRetries(s core.Scheme, c Case) {
 		v.MaxRetries = c.MaxRetries
 	case *core.GroupedSCM:
 		v.MaxRetries = c.MaxRetries
+	case *core.Adaptive:
+		if cfg, err := core.ParseAdaptiveConfig(c.ACfg); err == nil {
+			if serr := v.SetConfig(cfg); serr != nil {
+				panic(serr) // unreachable: ParseAdaptiveConfig validates
+			}
+		}
 	}
 }
 
@@ -114,7 +122,13 @@ func RunWith(c Case, build SchemeBuilder) Result {
 	// edges-vs-aborts conservation law holds (the engine caps retained
 	// edges, not classification).
 	eng := causality.New(causality.Config{MaxEdges: 1 << 30})
-	prof := profileFor(c.Scheme, c.Lock)
+	if core.AdaptiveSchemeName(c.Scheme) {
+		if _, aerr := core.ParseAdaptiveConfig(c.ACfg); aerr != nil {
+			fail(OracleConfig, "adaptive config: %v", aerr)
+			return res
+		}
+	}
+	prof := profileFor(c)
 	orc := newOracle(prof, eng, repro)
 	col.SetObserver(orc)
 
@@ -191,6 +205,10 @@ func RunWith(c Case, build SchemeBuilder) Result {
 	}
 	for i := 0; i < c.Threads; i++ {
 		m.Go(func(p *sim.Proc) {
+			// expectSkip replays the forfeit-window state machine for this
+			// proc (adaptive profiles only): how many forfeited acquisitions
+			// the scheme still owes after the last budget exhaustion.
+			expectSkip := 0
 			var pend []check.Event
 			stamp := func() {
 				seq++
@@ -302,6 +320,35 @@ func RunWith(c Case, build SchemeBuilder) Result {
 					fail(OracleAbortBound,
 						"proc %d op %d suffered %d aborts, scheme bounds it at %d",
 						p.ID(), k, o.Aborts, abortBound)
+				}
+				if prof.adaptive != nil {
+					switch {
+					case expectSkip > 0 && !o.Forfeited:
+						fail(OracleForfeit,
+							"proc %d op %d speculated inside a forfeit window (%d skips still owed)",
+							p.ID(), k, expectSkip)
+						expectSkip = 0 // resync to the scheme's actual behavior
+					case expectSkip == 0 && o.Forfeited:
+						fail(OracleForfeit,
+							"proc %d op %d ran forfeited outside any forfeit window", p.ID(), k)
+					}
+					if o.Forfeited && expectSkip > 0 {
+						expectSkip--
+						if exited := expectSkip == 0; exited != o.ForfeitExited {
+							fail(OracleForfeit,
+								"proc %d op %d window exit flag %v, replayed machine says %v (skips left %d)",
+								p.ID(), k, o.ForfeitExited, exited, expectSkip)
+						}
+					}
+					if o.ForfeitEntered {
+						if o.ExhaustedClass < 0 || int(o.ExhaustedClass) >= core.NumAbortClasses {
+							fail(OracleForfeit,
+								"proc %d op %d opened a forfeit window with invalid abort class %d",
+								p.ID(), k, o.ExhaustedClass)
+						} else {
+							expectSkip = prof.adaptive.Forfeit[o.ExhaustedClass]
+						}
+					}
 				}
 			}
 		})

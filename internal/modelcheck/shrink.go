@@ -1,5 +1,7 @@
 package modelcheck
 
+import "elision/internal/core"
+
 // Shrink greedily minimizes a failing case: it tries reductions in the
 // order fewer procs → fewer ops → smaller key/line set → fewer containers →
 // simpler structure → no skew/SMT/quantum/jitter, keeping a candidate
@@ -94,6 +96,11 @@ func Shrink(c Case, build SchemeBuilder) Case {
 		if c.Jitter != 0 {
 			cand := c
 			cand.Jitter = 0
+			attempt(cand)
+		}
+		if def := core.DefaultAdaptiveConfig().String(); c.ACfg != "" && c.ACfg != def {
+			cand := c
+			cand.ACfg = def
 			attempt(cand)
 		}
 		if !changed {

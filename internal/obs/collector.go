@@ -28,6 +28,16 @@ const (
 	// MetricAuxDwell is the histogram of cycles spent holding an SCM
 	// auxiliary lock.
 	MetricAuxDwell = "cs_aux_dwell_cycles"
+	// MetricForfeitOps counts operations an adaptive scheme completed inside
+	// a forfeit window (elision skipped, straight to the lock).
+	MetricForfeitOps = "adaptive_forfeit_ops_total"
+	// MetricForfeitEntries / MetricForfeitExits count adaptive forfeit
+	// windows opened (a retry budget exhausted) and closed.
+	MetricForfeitEntries = "adaptive_forfeit_entries_total"
+	MetricForfeitExits   = "adaptive_forfeit_exits_total"
+	// MetricBudgetExhausted counts adaptive retry-budget exhaustions; extra
+	// label class=conflict|busy|capacity|other.
+	MetricBudgetExhausted = "adaptive_budget_exhausted_total"
 )
 
 // AbortEvent is the full payload of one transactional abort as the htm
@@ -300,6 +310,27 @@ func (c *Collector) Op(when uint64, tid int, spec bool, latency uint64, retries 
 	c.Series.RecordOp(when, spec)
 	if c.obsv != nil {
 		c.obsv.ObserveOp(when, tid, spec, auxUsed)
+	}
+}
+
+// AdaptiveOp records the adaptive-policy facets of one completed critical
+// section: whether it ran forfeited (elision skipped inside a window), and
+// whether it opened (exhausting the named abort class's retry budget) or
+// closed a forfeit window. Counters are registered lazily, so non-adaptive
+// runs carry no adaptive_* families. Safe on a nil receiver.
+func (c *Collector) AdaptiveOp(forfeited, entered, exited bool, class string) {
+	if c == nil {
+		return
+	}
+	if forfeited {
+		c.Reg.Counter(MetricForfeitOps, c.base).Inc()
+	}
+	if entered {
+		c.Reg.Counter(MetricForfeitEntries, c.base).Inc()
+		c.Reg.Counter(MetricBudgetExhausted, c.base.With("class", class)).Inc()
+	}
+	if exited {
+		c.Reg.Counter(MetricForfeitExits, c.base).Inc()
 	}
 }
 

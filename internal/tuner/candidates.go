@@ -1,0 +1,78 @@
+package tuner
+
+import "elision/internal/core"
+
+// curatedSeeds are the hand-picked corners of the config space every search
+// starts from, so the random draws compete against sensible policies:
+//
+//	default          — the family's shipped config.
+//	slr-like         — generous flat budgets, minimal forfeits: approximates
+//	                   fixed-MAX_RETRIES SLR inside the adaptive machinery.
+//	aggressive-skip  — tiny budgets, long windows: bail to the lock fast and
+//	                   stay there (the lemming-storm "give up early" corner).
+//	patient          — large budgets, short windows: keep speculating through
+//	                   transient storms.
+var curatedSeeds = []string{
+	"", // replaced by DefaultAdaptiveConfig below
+	"10/1,10/1,0/1,10/1",
+	"2/8,4/8,0/16,2/8",
+	"16/2,32/2,1/4,8/2",
+}
+
+// Sampling pools: retry budgets and forfeit windows are drawn from small
+// curated grids rather than full integer ranges — the response surface is
+// flat between neighbors, so a coarse grid finds the same optima for a
+// fraction of the budget.
+var (
+	retryPool   = []int{0, 1, 2, 3, 5, 8, 12, 16}
+	forfeitPool = []int{1, 2, 3, 5, 8, 16, 32}
+)
+
+// splitmix64 is the stateless PRNG behind the candidate sampler: the k-th
+// draw is a pure function of (seed, k), so the population is reproducible
+// from SpaceSeed alone.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Candidates generates the initial population: the curated seeds first, then
+// seeded random draws from the pools, deduplicated by canonical string, in a
+// deterministic order. Returns exactly n configs (n >= 1).
+func Candidates(n int, spaceSeed uint64) []core.AdaptiveConfig {
+	if n < 1 {
+		n = 1
+	}
+	seen := make(map[string]bool, n)
+	out := make([]core.AdaptiveConfig, 0, n)
+	add := func(c core.AdaptiveConfig) {
+		s := c.String()
+		if !seen[s] && len(out) < n {
+			seen[s] = true
+			out = append(out, c)
+		}
+	}
+	add(core.DefaultAdaptiveConfig())
+	for _, s := range curatedSeeds[1:] {
+		c, err := core.ParseAdaptiveConfig(s)
+		if err != nil {
+			panic("tuner: bad curated seed " + s + ": " + err.Error())
+		}
+		add(c)
+	}
+	// Random draws: 8 pool picks per candidate, counter-keyed off SpaceSeed.
+	// Duplicates just advance the counter, so dedup never stalls the stream.
+	for ctr := uint64(0); len(out) < n; ctr++ {
+		var c core.AdaptiveConfig
+		for i := 0; i < core.NumAbortClasses; i++ {
+			r := splitmix64(spaceSeed ^ splitmix64(ctr*8+uint64(i)))
+			f := splitmix64(spaceSeed ^ splitmix64(ctr*8+uint64(i)+4))
+			c.Retry[i] = retryPool[r%uint64(len(retryPool))]
+			c.Forfeit[i] = forfeitPool[f%uint64(len(forfeitPool))]
+		}
+		add(c)
+	}
+	return out
+}
