@@ -28,6 +28,7 @@ import (
 	"elision/internal/fleet"
 	"elision/internal/harness"
 	"elision/internal/obs"
+	"elision/internal/obs/flight"
 	"elision/internal/obs/rollup"
 	"elision/internal/sim"
 	"elision/internal/stamp"
@@ -82,6 +83,19 @@ type CampaignMetrics struct {
 	OccupancyPct float64 `json:"occupancy_pct"`
 }
 
+// FlightOverhead quantifies the flight recorder's host-side cost: the
+// lemming workload run unobserved versus with a collector and flight
+// recorder attached in campaign retention mode (registry aggregates only,
+// no raw chains). Simulated results are bit-identical either way — only
+// host time may differ — and cmd/benchdiff gates the ratio so the
+// "always-on, low-overhead" claim stays a tested property.
+type FlightOverhead struct {
+	UnobservedNsPerOp float64 `json:"unobserved_ns_per_op"`
+	FlightNsPerOp     float64 `json:"flight_ns_per_op"`
+	// Ratio is flight/unobserved host time (1.0 = free).
+	Ratio float64 `json:"ratio"`
+}
+
 // Report is the top-level BENCH_simulator.json document.
 type Report struct {
 	Schema     string        `json:"schema"`
@@ -91,6 +105,9 @@ type Report struct {
 	// Campaign is the fleet campaign-throughput measurement (CI smoke-checks
 	// its fields, so it is always present).
 	Campaign CampaignMetrics `json:"campaign"`
+	// Flight is the flight-recorder overhead measurement (always present;
+	// cmd/benchdiff gates its ratio).
+	Flight FlightOverhead `json:"flight"`
 	// ReproduceQuickWallMs is the wall time of the in-process quick figure
 	// suite (the same work as `reproduce -quick`, minus file output);
 	// present only when -reproduce is given.
@@ -200,6 +217,33 @@ func measure(w Workload, iters int) Measurement {
 		m.NsPerTxn = m.NsPerOp / float64(txns)
 	}
 	return m
+}
+
+// measureFlightOverhead times the lemming point (HLE over MCS, the suite's
+// heaviest event-rate workload) unobserved and with the flight recorder
+// attached, using the same warmup-plus-iters loop as every other
+// measurement.
+func measureFlightOverhead(iters int) FlightOverhead {
+	cfg := harness.DSConfig{
+		Structure: harness.StructTree, Threads: 8, Size: 128, Mix: harness.MixModerate,
+		Scheme: harness.SchemeHLE, Lock: harness.LockMCS,
+		BudgetCycles: 400_000, Seed: 42, Quantum: 128,
+	}
+	un := measure(Workload{Name: "flight-off", Run: func() (uint64, uint64) {
+		r := harness.RunDataStructure(cfg)
+		return r.Cycles, r.Stats.Attempts
+	}}, iters)
+	fl := measure(Workload{Name: "flight-on", Run: func() (uint64, uint64) {
+		col := obs.NewCollector(string(cfg.Scheme), string(cfg.Lock), 0)
+		flight.Attach(col, flight.Config{MaxChains: -1})
+		r := harness.RunDataStructureObserved(cfg, col, nil)
+		return r.Cycles, r.Stats.Attempts
+	}}, iters)
+	o := FlightOverhead{UnobservedNsPerOp: un.NsPerOp, FlightNsPerOp: fl.NsPerOp}
+	if un.NsPerOp > 0 {
+		o.Ratio = fl.NsPerOp / un.NsPerOp
+	}
+	return o
 }
 
 // campaignGrid is the pinned fleet-throughput campaign: both structures
@@ -361,6 +405,10 @@ func run(args []string, stdout io.Writer) error {
 		rep.Workloads = append(rep.Workloads, m)
 		fmt.Fprintf(os.Stderr, " %.1fms/op, %.0f allocs/op\n", m.NsPerOp/1e6, m.AllocsPerOp)
 	}
+	fmt.Fprintf(os.Stderr, "bench: flight overhead...")
+	rep.Flight = measureFlightOverhead(*iters)
+	fmt.Fprintf(os.Stderr, " %.2fx (%.1fms unobserved, %.1fms with recorder)\n",
+		rep.Flight.Ratio, rep.Flight.UnobservedNsPerOp/1e6, rep.Flight.FlightNsPerOp/1e6)
 	fmt.Fprintf(os.Stderr, "bench: campaign (%d points)...", len(campaignGrid()))
 	prof := fleet.NewProfile()
 	rep.Campaign = measureCampaign(fc, prof)

@@ -73,6 +73,9 @@ type benchReport struct {
 		TxnsPerSec     float64 `json:"txns_per_sec"`
 		PrefillHitRate float64 `json:"prefill_hit_rate"`
 	} `json:"campaign"`
+	Flight struct {
+		Ratio float64 `json:"ratio"`
+	} `json:"flight"`
 }
 
 // tolerances carries the gate widths.
@@ -81,6 +84,7 @@ type tolerances struct {
 	allocs   float64 // relative: allocs/op may grow by this fraction
 	sims     float64 // relative: sims/sec may shrink by this fraction
 	prefill  float64 // absolute: prefill hit rate may drop by this much
+	flight   float64 // absolute cap on the flight-recorder overhead ratio
 	simDrift bool    // allow simulated-work fingerprints to change
 }
 
@@ -164,6 +168,17 @@ func diff(baselinePath, currentPath string, base, cur *benchReport, tol toleranc
 		OK:    cur.Campaign.PrefillHitRate >= base.Campaign.PrefillHitRate-tol.prefill,
 	}
 	v.Checks = append(v.Checks, pre)
+	if cur.Flight.Ratio > 0 {
+		// Gate the current run's flight-recorder overhead absolutely, not
+		// against the baseline: the claim is "observed stays within tolerance
+		// of unobserved", which holds or fails on the current host alone.
+		v.Checks = append(v.Checks, Check{
+			Workload: "flight", Metric: "overhead_ratio",
+			Baseline: base.Flight.Ratio, Current: cur.Flight.Ratio,
+			Limit: fmt.Sprintf("<= %.2fx unobserved", tol.flight),
+			OK:    cur.Flight.Ratio <= tol.flight,
+		})
+	}
 	for _, c := range v.Checks {
 		if !c.OK {
 			v.OK = false
@@ -216,6 +231,7 @@ func run(args []string, stdout io.Writer) error {
 	tolAllocs := fs.Float64("tol-allocs", 0.10, "allowed relative growth in allocs_per_op")
 	tolSims := fs.Float64("tol-sims", 0.5, "allowed relative drop in campaign throughput")
 	tolPrefill := fs.Float64("tol-prefill", 0.10, "allowed absolute drop in prefill hit rate")
+	tolFlight := fs.Float64("tol-flight-ratio", 3.0, "cap on the flight-recorder overhead ratio (observed/unobserved host time; gated only when the current report carries the measurement)")
 	allowDrift := fs.Bool("allow-sim-drift", false, "permit simulated-work fingerprints to change (trajectory reset)")
 	lintProm := fs.String("lint-prom", "", "validate a Prometheus text-exposition file and exit (no diff)")
 	if err := fs.Parse(args); err != nil {
@@ -244,7 +260,7 @@ func run(args []string, stdout io.Writer) error {
 	for _, tol := range []struct {
 		name string
 		v    float64
-	}{{"-tol-ns", *tolNs}, {"-tol-allocs", *tolAllocs}, {"-tol-sims", *tolSims}, {"-tol-prefill", *tolPrefill}} {
+	}{{"-tol-ns", *tolNs}, {"-tol-allocs", *tolAllocs}, {"-tol-sims", *tolSims}, {"-tol-prefill", *tolPrefill}, {"-tol-flight-ratio", *tolFlight}} {
 		if tol.v < 0 {
 			return fmt.Errorf("benchdiff: %s must be >= 0 (got %g)", tol.name, tol.v)
 		}
@@ -260,7 +276,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	v := diff(*baseline, *current, base, cur, tolerances{
-		ns: *tolNs, allocs: *tolAllocs, sims: *tolSims, prefill: *tolPrefill, simDrift: *allowDrift,
+		ns: *tolNs, allocs: *tolAllocs, sims: *tolSims, prefill: *tolPrefill,
+		flight: *tolFlight, simDrift: *allowDrift,
 	})
 	if *jsonOut != "" {
 		enc, err := json.MarshalIndent(v, "", "  ")

@@ -174,3 +174,64 @@ func TestFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestFlightOverheadGate: the flight-recorder overhead ratio is gated
+// absolutely against -tol-flight-ratio when the current report carries the
+// measurement, and skipped (not failed) when it does not.
+func TestFlightOverheadGate(t *testing.T) {
+	raw, err := os.ReadFile("testdata/steady.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, ratio float64) string {
+		if ratio > 0 {
+			rep["flight"] = map[string]any{
+				"unobserved_ns_per_op": 1e6, "flight_ns_per_op": ratio * 1e6, "ratio": ratio,
+			}
+		} else {
+			delete(rep, "flight")
+		}
+		enc, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	within := write("within.json", 1.4)
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", "testdata/baseline.json", "-current", within}, &out); err != nil {
+		t.Fatalf("ratio 1.4 under default cap failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "overhead_ratio") {
+		t.Errorf("verdict table lacks the flight check:\n%s", out.String())
+	}
+
+	over := write("over.json", 1.4)
+	out.Reset()
+	err = run([]string{"-baseline", "testdata/baseline.json", "-current", over, "-tol-flight-ratio", "1.2"}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("ratio 1.4 over a 1.2 cap: err = %v, want errRegression", err)
+	}
+	if !strings.Contains(out.String(), "overhead_ratio") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("regression verdict lacks the flight check:\n%s", out.String())
+	}
+
+	absent := write("absent.json", 0)
+	out.Reset()
+	if err := run([]string{"-baseline", "testdata/baseline.json", "-current", absent}, &out); err != nil {
+		t.Fatalf("report without a flight block failed: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "overhead_ratio") {
+		t.Errorf("flight check gated a report without the measurement:\n%s", out.String())
+	}
+}

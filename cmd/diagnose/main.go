@@ -25,6 +25,7 @@ import (
 	"elision/internal/fleet"
 	"elision/internal/harness"
 	"elision/internal/obs/causality"
+	"elision/internal/obs/rollup"
 )
 
 // knownSchemes lists every scheme name the harness factory accepts.
@@ -73,6 +74,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "test-scale run (fast, for CI smoke)")
 	jsonOut := fs.String("json", "", "also write the verdict document as JSON to this path (- for stdout)")
+	promOut := fs.String("prom", "", "also write the panel's campaign rollup (flight_* chain analytics included) as a Prometheus exposition to this path (- for stdout)")
 	scheme := fs.String("scheme", "", "restrict the panel to one scheme (e.g. hle, opt-slr, hle-scm)")
 	lock := fs.String("lock", "", "restrict the panel to one lock (e.g. mcs, ttas, ticket-hle)")
 	budget := fs.Uint64("budget", 0, "virtual-cycle budget per thread (0 = scale default)")
@@ -125,9 +127,13 @@ func run(args []string, stdout io.Writer) error {
 		panel = sel
 	}
 
-	d := harness.Diagnose(sc, panel, causality.Config{GapCycles: *gap}, fc)
+	var ru *rollup.Campaign
+	if *promOut != "" {
+		ru = rollup.New()
+	}
+	d := harness.DiagnoseRollup(sc, panel, causality.Config{GapCycles: *gap}, fc, ru)
 
-	if *jsonOut != "-" {
+	if *jsonOut != "-" && *promOut != "-" {
 		d.WriteText(stdout)
 	}
 	if *jsonOut != "" {
@@ -145,6 +151,18 @@ func run(args []string, stdout io.Writer) error {
 		if err := enc.Encode(d); err != nil {
 			return err
 		}
+	}
+	if *promOut != "" {
+		out := stdout
+		if *promOut != "-" {
+			f, err := os.Create(*promOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		ru.WritePrometheus(out)
 	}
 	return nil
 }

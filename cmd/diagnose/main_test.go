@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"elision/internal/obs"
 )
 
 // runToFiles invokes the command's run() with -quick, capturing the human
@@ -155,5 +157,32 @@ func TestDiagnosePanelFilter(t *testing.T) {
 	}
 	if len(d.Runs) != 1 || d.Runs[0].Scheme != "slr-scm" || d.Runs[0].Lock != "mcs" {
 		t.Fatalf("filtered runs = %+v, want exactly slr-scm/mcs", d.Runs)
+	}
+}
+
+// TestDiagnosePromLints: -prom writes a linting Prometheus exposition that
+// carries the panel's flight-recorder chain analytics.
+func TestDiagnosePromLints(t *testing.T) {
+	dir := t.TempDir()
+	promPath := filepath.Join(dir, "panel.prom")
+	out, err := os.Create(filepath.Join(dir, "stdout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run([]string{"-quick", "-scheme", "hle", "-lock", "mcs", "-prom", promPath}, out); err != nil {
+		t.Fatalf("diagnose run: %v", err)
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintPrometheus(bytes.NewReader(prom)); err != nil {
+		t.Fatalf("-prom exposition does not lint: %v\n%s", err, prom)
+	}
+	for _, want := range []string{"flight_chains_total", "flight_cycles_total", "campaign_runs_total"} {
+		if !bytes.Contains(prom, []byte(want)) {
+			t.Errorf("-prom exposition lacks %s:\n%s", want, prom)
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"elision/internal/htm"
 	"elision/internal/obs"
 	"elision/internal/obs/causality"
+	"elision/internal/obs/flight"
 	"elision/internal/trace"
 )
 
@@ -80,6 +81,7 @@ func run(args []string) error {
 	metricsOut := fs.String("metrics", "", "write the metrics report to this file ('-' = stdout; a .csv suffix selects CSV)")
 	hotLines := fs.Int("hot-lines", 0, "print the top-N conflict hot lines")
 	causal := fs.Bool("causality", false, "attach the abort-causality engine: print the speculation-health scorecard and add cascade flow arrows to -trace-json")
+	flightOn := fs.Bool("flight", false, "attach the flight recorder: print the attempt-chain summary (cycles-to-commit percentiles, cycle partition) and fold flight_* families into -metrics")
 	j := fs.Int("j", 0, "accepted for cmd-tool uniformity; a single point always runs on one worker")
 	shards := fs.Int("shards", 0, "accepted for cmd-tool uniformity; a single point always runs on one worker")
 	if err := fs.Parse(args); err != nil {
@@ -144,11 +146,15 @@ func run(args []string) error {
 	var col *obs.Collector
 	var tr *trace.Tracer
 	var eng *causality.Engine
-	if *metricsOut != "" || *hotLines > 0 || *causal {
+	var rec *flight.Recorder
+	if *metricsOut != "" || *hotLines > 0 || *causal || *flightOn {
 		col = obs.NewCollector(string(cfg.Scheme), string(cfg.Lock), cfg.BudgetCycles/20)
 	}
 	if *causal {
 		eng = causality.Attach(col, causality.Config{})
+	}
+	if *flightOn {
+		rec = flight.Attach(col, flight.Config{})
 	}
 	if *traceJSON != "" {
 		tr = trace.New(0)
@@ -196,6 +202,9 @@ func run(args []string) error {
 	if eng != nil {
 		fmt.Println()
 		eng.WriteText(os.Stdout)
+	}
+	if rec != nil {
+		rec.WriteText(os.Stdout)
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, col, *hotLines, annotate); err != nil {

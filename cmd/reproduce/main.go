@@ -43,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
 	adaptive := fs.String("adaptive", "", "also emit the adaptive-frontier table (results/adaptive.txt) comparing the adaptive family under this config (e.g. a cmd/tune winner, or 'default') against the fixed-policy schemes")
 	rollupOut := fs.String("rollup", "", "after the figures, re-run every computed point observed and write the campaign speculation-health rollup here ('-' = stdout)")
+	flightOn := fs.Bool("flight", false, "attach a flight recorder to every observed-pass point, folding the flight_* attempt-chain analytics into -rollup / -prom")
 	prom := fs.String("prom", "", "write the campaign rollup plus fleet self-metrics as a Prometheus exposition here (implies the observed pass)")
 	fleetTrace := fs.String("fleet-trace", "", "write the fleet's self-profile as a Perfetto/Chrome trace here")
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +55,9 @@ func run(args []string, stdout io.Writer) error {
 	fc, err := fleet.Flags(*j, *shards)
 	if err != nil {
 		return err
+	}
+	if *flightOn && *rollupOut == "" && *prom == "" {
+		return fmt.Errorf("reproduce: -flight augments the observed pass; add -rollup or -prom")
 	}
 	acfg := *adaptive
 	if acfg == "default" {
@@ -167,6 +171,7 @@ func run(args []string, stdout io.Writer) error {
 		cfgs := r.CachedConfigs()
 		fmt.Fprintf(os.Stderr, "== rollup (observed pass over %d points) ==\n", len(cfgs))
 		ru := rollup.New()
+		r.Flight = *flightOn
 		r.RunAllRollup(cfgs, ru)
 		if *rollupOut != "" {
 			w := stdout

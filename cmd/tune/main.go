@@ -55,6 +55,7 @@ func run(args []string, stdout *os.File) error {
 	eta := fs.Int("eta", 2, "successive-halving factor (keep 1/eta per rung)")
 	spaceSeed := fs.Uint64("space-seed", 0, "candidate-space sampler seed")
 	jsonOut := fs.String("json", "", "write the elision-tune/v1 JSON document to this file ('-' = stdout)")
+	promOut := fs.String("prom", "", "re-run the winner and baselines observed and write the campaign rollup (flight_* chain analytics included) as a Prometheus exposition here ('-' = stdout)")
 	smoke := fs.Bool("smoke", false, "CI-sized pinned search on the lemming workload (overrides workload and search flags)")
 	j := fs.Int("j", 0, "parallel fleet workers (0 = all host cores); never affects results")
 	shards := fs.Int("shards", 0, "work-stealing shards per worker (0 = auto)")
@@ -179,6 +180,19 @@ func run(args []string, stdout *os.File) error {
 		if err := enc.Encode(res); err != nil {
 			return fmt.Errorf("tune: %w", err)
 		}
+	}
+	if *promOut != "" {
+		ru := tuner.ObservedRollup(cfg, res)
+		w := stdout
+		if *promOut != "-" {
+			f, err := os.Create(*promOut)
+			if err != nil {
+				return fmt.Errorf("tune: %w", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		ru.WritePrometheus(w)
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"elision/internal/obs"
 )
 
 // TestRejectsBadFlags: malformed search or workload flags exit non-zero with
@@ -80,5 +82,36 @@ func TestSmokeJSONDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if !strings.Contains(doc.Winner.Config, "/") {
 		t.Fatalf("winner config %q is not canonical", doc.Winner.Config)
+	}
+}
+
+// TestSmokePromLints: -prom writes a linting Prometheus exposition covering
+// the winner and every baseline, flight_* chain analytics included.
+func TestSmokePromLints(t *testing.T) {
+	dir := t.TempDir()
+	promPath := filepath.Join(dir, "tune.prom")
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if err := run([]string{"-smoke", "-prom", promPath}, null); err != nil {
+		t.Fatalf("run(-smoke -prom) = %v", err)
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintPrometheus(bytes.NewReader(prom)); err != nil {
+		t.Fatalf("-prom exposition does not lint: %v\n%s", err, prom)
+	}
+	for _, want := range []string{
+		"flight_chains_total", "flight_cycles_total",
+		`campaign_runs_total{scheme="adaptive-slr",lock="mcs"}`, // the winner
+		`campaign_runs_total{scheme="opt-slr",lock="mcs"}`,      // a baseline
+	} {
+		if !bytes.Contains(prom, []byte(want)) {
+			t.Errorf("-prom exposition lacks %s", want)
+		}
 	}
 }

@@ -265,6 +265,7 @@ func (s *Adaptive) attempt(p *sim.Proc, body func(c htm.Ctx)) htm.Status {
 
 // fallback completes the critical section holding the lock.
 func (s *Adaptive) fallback(p *sim.Proc, body func(c htm.Ctx)) {
+	s.m.TraceLockWait(p)
 	s.l.Lock(p)
 	s.m.TraceLock(p)
 	body(ctx(s.m, p))

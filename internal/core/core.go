@@ -143,6 +143,7 @@ func (s *Standard) Name() string { return "standard" }
 
 // Critical implements Scheme.
 func (s *Standard) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
+	s.m.TraceLockWait(p)
 	s.l.Lock(p)
 	s.m.TraceLock(p)
 	body(ctx(s.m, p))
@@ -240,6 +241,7 @@ func (s *HLE) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 			// Raw HLE: the hardware re-executes the XACQUIRE instruction
 			// non-transactionally.
 			o.Attempts++
+			s.m.TraceLockWait(p)
 			if s.l.AcquireNT(p) {
 				s.m.TraceLock(p)
 				body(ctx(s.m, p))
@@ -253,6 +255,7 @@ func (s *HLE) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 		}
 		// Retry budget exhausted: blocking non-speculative acquisition.
 		o.Attempts++
+		s.m.TraceLockWait(p)
 		s.l.Lock(p)
 		s.m.TraceLock(p)
 		body(ctx(s.m, p))
@@ -312,6 +315,7 @@ func (s *SLR) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 		}
 	}
 	o.Attempts++
+	s.m.TraceLockWait(p)
 	s.l.Lock(p)
 	s.m.TraceLock(p)
 	body(ctx(s.m, p))
@@ -407,6 +411,7 @@ func (s *SCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 		// Serializing path (Figure 7, lines 17-26): acquire the auxiliary
 		// lock on the first failure; count retries while holding it.
 		if !auxOwner {
+			s.m.TraceAuxWait(p)
 			s.aux.Lock(p)
 			auxOwner = true
 			auxStart = p.Clock()
@@ -417,6 +422,7 @@ func (s *SCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 		}
 		if retries >= s.MaxRetries {
 			o.Attempts++
+			s.m.TraceLockWait(p)
 			s.main.Lock(p)
 			s.m.TraceLock(p)
 			body(ctx(s.m, p))
@@ -429,6 +435,7 @@ func (s *SCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 				// SLR tuning (§7): the abort status says retrying is
 				// unlikely to succeed; switch to the main lock now.
 				o.Attempts++
+				s.m.TraceLockWait(p)
 				s.main.Lock(p)
 				s.m.TraceLock(p)
 				body(ctx(s.m, p))

@@ -39,5 +39,26 @@ func (s *Observed) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 	if o.Forfeited || o.ForfeitEntered || o.ForfeitExited {
 		s.col.AdaptiveOp(o.Forfeited, o.ForfeitEntered, o.ForfeitExited, o.ExhaustedClass.String())
 	}
+	exhausted := ""
+	if o.ForfeitEntered {
+		exhausted = o.ExhaustedClass.String()
+	}
+	// OpDetail seals the attempt chain: every tx/lock event the section
+	// emitted since start belongs to this chain, and the payload carries the
+	// Outcome facets chain analytics need (flight recorder).
+	s.col.OpDetail(obs.OpEvent{
+		Start:          start,
+		When:           p.Clock(),
+		Tid:            p.ID(),
+		Spec:           o.Speculative,
+		Attempts:       o.Attempts,
+		Aborts:         o.Aborts,
+		AuxUsed:        o.AuxUsed,
+		AuxDwell:       o.AuxDwell,
+		Forfeited:      o.Forfeited,
+		ForfeitEntered: o.ForfeitEntered,
+		ForfeitExited:  o.ForfeitExited,
+		ExhaustedClass: exhausted,
+	})
 	return o
 }

@@ -104,6 +104,7 @@ func (s *GroupedSCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 		g := s.group(st)
 		switch {
 		case heldAux == -1:
+			s.m.TraceAuxWait(p)
 			s.aux[g].Lock(p)
 			heldAux = g
 			auxStart = p.Clock()
@@ -115,6 +116,7 @@ func (s *GroupedSCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 			s.aux[heldAux].Unlock(p)
 			o.AuxDwell += p.Clock() - auxStart
 			s.m.TraceAuxUnlock(p)
+			s.m.TraceAuxWait(p)
 			s.aux[g].Lock(p)
 			heldAux = g
 			auxStart = p.Clock()
@@ -125,6 +127,7 @@ func (s *GroupedSCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 		}
 		if retries >= s.MaxRetries {
 			o.Attempts++
+			s.m.TraceLockWait(p)
 			s.main.Lock(p)
 			s.m.TraceLock(p)
 			body(ctx(s.m, p))
@@ -135,6 +138,7 @@ func (s *GroupedSCM) Critical(p *sim.Proc, body func(c htm.Ctx)) Outcome {
 		if s.mode == SCMOverSLR {
 			if !st.Retry {
 				o.Attempts++
+				s.m.TraceLockWait(p)
 				s.main.Lock(p)
 				s.m.TraceLock(p)
 				body(ctx(s.m, p))

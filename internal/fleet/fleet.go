@@ -276,14 +276,17 @@ func TTYProgressStatus(w io.Writer, label string, status func() string) func(don
 				line += " [" + s + "]"
 			}
 		}
-		pad := width - len(line)
-		if pad < 0 {
-			pad = 0
+		// Pad to the longest line ever drawn, not just the previous one: a
+		// status like "busy N/M steals K" shrinks and regrows between
+		// redraws, and padding against only the last width can leave stale
+		// characters from an earlier, longer draw on the terminal row.
+		if len(line) > width {
+			width = len(line)
 		}
-		width = len(line)
-		fmt.Fprintf(w, "\r%s%s", line, spaces(pad))
+		fmt.Fprintf(w, "\r%s%s", line, spaces(width-len(line)))
 		if done == total {
 			fmt.Fprintln(w)
+			width = 0
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
@@ -165,5 +166,67 @@ func TestTTYProgress(t *testing.T) {
 	}
 	if !strings.HasSuffix(out, "\n") {
 		t.Fatalf("no trailing newline after completion: %q", out)
+	}
+}
+
+// terminalRow replays carriage-return-delimited writes onto an emulated
+// terminal row, the way a TTY renders them: '\r' homes the cursor, '\n'
+// clears the row state, anything else overwrites in place.
+func terminalRow(out string) string {
+	var row []byte
+	cur := 0
+	for i := 0; i < len(out); i++ {
+		switch out[i] {
+		case '\r':
+			cur = 0
+		case '\n':
+			row, cur = row[:0], 0
+		default:
+			if cur < len(row) {
+				row[cur] = out[i]
+			} else {
+				row = append(row, out[i])
+			}
+			cur++
+		}
+	}
+	return string(row)
+}
+
+// TestTTYProgressStatusClearsShrinkingLine: a status suffix that shrinks
+// and regrows between redraws must never leave stale characters from an
+// earlier, longer draw on the terminal row.
+func TestTTYProgressStatusClearsShrinkingLine(t *testing.T) {
+	statuses := []string{
+		"busy 12/16 steals 104 prefill 97%",
+		"busy 4/16",
+		"busy 9/16 steals 11",
+		"",
+		"busy 16/16 steals 2048 prefill 100%",
+		"busy 1/16",
+	}
+	i := 0
+	var sb strings.Builder
+	p := TTYProgressStatus(&sb, "points", func() string {
+		s := statuses[i%len(statuses)]
+		i++
+		return s
+	})
+	for done := 1; done < len(statuses); done++ {
+		p(done, len(statuses))
+		// After each redraw the visible row must be the current line plus
+		// trailing blanks only — no residue of a previous longer status.
+		row := terminalRow(sb.String())
+		want := fmt.Sprintf("  %d/%d points", done, len(statuses))
+		if s := statuses[(i-1)%len(statuses)]; s != "" {
+			want += " [" + s + "]"
+		}
+		if got := strings.TrimRight(row, " "); got != want {
+			t.Fatalf("redraw %d left stale characters: row %q, want %q", done, got, want)
+		}
+	}
+	p(len(statuses), len(statuses))
+	if !strings.HasSuffix(sb.String(), "\n") {
+		t.Fatalf("no trailing newline after completion: %q", sb.String())
 	}
 }

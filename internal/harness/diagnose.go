@@ -6,6 +6,8 @@ import (
 
 	"elision/internal/fleet"
 	"elision/internal/obs/causality"
+	"elision/internal/obs/flight"
+	"elision/internal/obs/rollup"
 )
 
 // DiagnoseSchemaVersion identifies the Diagnosis JSON layout. Bump on any
@@ -81,6 +83,11 @@ type Diagnosis struct {
 // distills its report.
 func DiagnosePointRun(cfg DSConfig, ccfg causality.Config) DiagnoseResult {
 	res, _, _, eng := CausalRun(cfg, ccfg)
+	return distillDiagnosis(cfg, res, eng)
+}
+
+// distillDiagnosis shapes one causal run's report into a DiagnoseResult.
+func distillDiagnosis(cfg DSConfig, res Result, eng *causality.Engine) DiagnoseResult {
 	r := eng.Report()
 	return DiagnoseResult{
 		Scheme:                 string(cfg.Scheme),
@@ -110,6 +117,16 @@ func DiagnosePointRun(cfg DSConfig, ccfg causality.Config) DiagnoseResult {
 // (fc zero value = one worker per host CPU); Runs keeps the panel's order
 // regardless of completion order.
 func Diagnose(sc Scale, panel []DiagnosePoint, ccfg causality.Config, fc fleet.Config) Diagnosis {
+	return DiagnoseRollup(sc, panel, ccfg, fc, nil)
+}
+
+// DiagnoseRollup is Diagnose with campaign capture: when ru is non-nil,
+// every panel point's collector — carrying the causality engine and a
+// flight recorder — folds into ru, so the panel's full observability
+// (flight_* chain analytics included) is available as a rollup text report
+// or Prometheus exposition. Folding is order-independent, so the rollup's
+// artifacts are byte-identical at any worker count.
+func DiagnoseRollup(sc Scale, panel []DiagnosePoint, ccfg causality.Config, fc fleet.Config, ru *rollup.Campaign) Diagnosis {
 	ref := sc.Section4Config(SchemeHLE, LockMCS)
 	d := Diagnosis{
 		SchemaVersion: DiagnoseSchemaVersion,
@@ -120,8 +137,13 @@ func Diagnose(sc Scale, panel []DiagnosePoint, ccfg causality.Config, fc fleet.C
 		Seed:         ref.Seed,
 	}
 	d.Runs = fleet.Collect(fc, len(panel), func(i int) DiagnoseResult {
-		p := panel[i]
-		return DiagnosePointRun(sc.Section4Config(p.Scheme, p.Lock), ccfg)
+		cfg := sc.Section4Config(panel[i].Scheme, panel[i].Lock)
+		if ru == nil {
+			return DiagnosePointRun(cfg, ccfg)
+		}
+		res, col, _, eng, _ := FlightRun(cfg, ccfg, flight.Config{MaxChains: -1})
+		ru.AddRun(col)
+		return distillDiagnosis(cfg, res, eng)
 	})
 	return d
 }

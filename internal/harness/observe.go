@@ -3,6 +3,7 @@ package harness
 import (
 	"elision/internal/obs"
 	"elision/internal/obs/causality"
+	"elision/internal/obs/flight"
 	"elision/internal/trace"
 )
 
@@ -49,4 +50,20 @@ func CausalRun(cfg DSConfig, ccfg causality.Config) (Result, *obs.Collector, *tr
 	tr := trace.New(0)
 	res := RunDataStructureObserved(cfg, col, tr)
 	return res, col, tr, eng
+}
+
+// FlightRun is CausalRun with the flight recorder riding the same collector
+// (the causality engine and the recorder share the feed through a Tee): the
+// returned recorder holds the run's attempt chains and its cycle-partition
+// aggregates sit in the collector's registry as flight_* families. fcfg's
+// zero value selects the recorder defaults (raw-chain retention capped at
+// flight.DefaultMaxChains).
+func FlightRun(cfg DSConfig, ccfg causality.Config, fcfg flight.Config) (Result, *obs.Collector, *trace.Tracer, *causality.Engine, *flight.Recorder) {
+	width := cfg.BudgetCycles / 20
+	col := obs.NewCollector(string(cfg.Scheme), string(cfg.Lock), width)
+	eng := causality.Attach(col, ccfg)
+	rec := flight.Attach(col, fcfg)
+	tr := trace.New(0)
+	res := RunDataStructureObserved(cfg, col, tr)
+	return res, col, tr, eng, rec
 }

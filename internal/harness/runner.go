@@ -6,6 +6,7 @@ import (
 	"elision/internal/fleet"
 	"elision/internal/obs"
 	"elision/internal/obs/causality"
+	"elision/internal/obs/flight"
 	"elision/internal/obs/rollup"
 )
 
@@ -37,6 +38,11 @@ type Runner struct {
 	// Profile, when non-nil, records the fleet's own execution (job spans,
 	// steals, occupancy) across every RunAll/RunAllRollup fan-out.
 	Profile *fleet.Profile
+	// Flight, when true, additionally attaches a flight recorder to every
+	// RunAllRollup point, so the campaign rollup folds the flight_* chain
+	// analytics (cycle partition, cycles-to-commit percentiles) alongside
+	// the causality scorecards.
+	Flight bool
 }
 
 // NewRunner returns a Runner using one worker per host CPU.
@@ -162,6 +168,12 @@ func (r *Runner) RunAllRollup(cfgs []DSConfig, ru *rollup.Campaign) []Result {
 			cfg := todo[i]
 			col := obs.NewCollector(string(cfg.Scheme), string(cfg.Lock), cfg.BudgetCycles/20)
 			causality.Attach(col, causality.Config{})
+			if r.Flight {
+				// Raw chains are not needed for the fold — the flight_*
+				// registry families carry the analytics — so keep retention
+				// minimal.
+				flight.Attach(col, flight.Config{MaxChains: -1})
+			}
 			run[i] = r.pool[w].RunObserved(cfg, col, nil)
 			ru.AddRun(col)
 		})

@@ -21,6 +21,7 @@ func (m *Memory) Atomic(p *sim.Proc, body func(tx *Tx)) Status {
 
 	p.Advance(m.cost.TxBegin)
 	m.tracer.Emit(p.Clock(), p.ID(), trace.TxBegin, 0)
+	m.col.TxBegin(p.Clock(), p.ID())
 	tx := &m.txs[p.ID()]
 	tx.reset(p, m)
 	m.cur[p.ID()] = tx
@@ -58,6 +59,7 @@ func (m *Memory) Atomic(p *sim.Proc, body func(tx *Tx)) Status {
 				ConflictTid:  st.ConflictTid,
 				ConflictNT:   st.ConflictNT,
 				ConflictWhen: tx.doomWhen,
+				Code:         st.Code,
 			})
 		}()
 		body(tx)

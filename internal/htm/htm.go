@@ -273,6 +273,22 @@ func (m *Memory) SetCollector(c *obs.Collector) { m.col = c }
 // Collector returns the attached collector, possibly nil.
 func (m *Memory) Collector() *obs.Collector { return m.col }
 
+// TraceLockWait records the start of a blocking main-lock acquisition —
+// schemes call this immediately before Lock on their fallback paths, so the
+// flight recorder can split a fallback's cost into waiting (contention) and
+// holding (dwell). The event reaches only the collector: it marks intent,
+// not ownership, so the swimlane tracer and ownership-tracking observers
+// ignore the wait phase.
+func (m *Memory) TraceLockWait(p *sim.Proc) {
+	m.col.LockWaiting(p.Clock(), p.ID())
+}
+
+// TraceAuxWait records the start of a blocking auxiliary-lock acquisition
+// (SCM serializing-path entry begins queueing).
+func (m *Memory) TraceAuxWait(p *sim.Proc) {
+	m.col.AuxWaiting(p.Clock(), p.ID())
+}
+
 // TraceLock records a non-speculative main-lock acquisition — schemes call
 // this on their fallback paths so timelines show lemming triggers and the
 // causality engine can tie cascades to the acquire that rooted them.

@@ -202,6 +202,11 @@ func (o *oracle) ObserveAbort(ev obs.AbortEvent) {
 
 // ObserveLock implements obs.TxObserver: the mutual-exclusion state machine.
 func (o *oracle) ObserveLock(ev obs.LockEvent) {
+	if ev.Wait {
+		// Wait-phase events mark intent, not ownership; the exclusion
+		// machine only tracks held locks.
+		return
+	}
 	switch {
 	case !ev.Aux && !ev.Release:
 		if o.mainHolder >= 0 {

@@ -378,6 +378,11 @@ func (e *Engine) ObserveCommit(when uint64, tid int) {
 // what sustains the cascade. Auxiliary (SCM) transitions don't extend
 // epochs; they are tracked for the rejoin scorecard.
 func (e *Engine) ObserveLock(ev obs.LockEvent) {
+	if ev.Wait {
+		// A wait-phase event marks intent, not ownership: the lock is not
+		// held yet, so it neither advances nor extends an epoch.
+		return
+	}
 	e.advance(ev.When)
 	if !ev.Aux {
 		e.extend(ev.When)

@@ -66,6 +66,11 @@ type AbortEvent struct {
 	// ConflictWhen is the aborter's virtual time at the dooming access
 	// (before When: the victim observes the doom at its next step).
 	ConflictWhen uint64
+	// Code is the XABORT payload of an explicit abort (core's
+	// CodeSLRLockHeld/CodeNonSpecRun/CodeLockBusy), 0 otherwise — the datum
+	// that lets observers classify lock-induced aborts the way the adaptive
+	// policy does.
+	Code int
 }
 
 // LockEvent is one non-speculative lock transition reported by the
@@ -79,6 +84,11 @@ type LockEvent struct {
 	Aux bool
 	// Release marks the release side of the pair.
 	Release bool
+	// Wait marks the start of a blocking acquisition: the proc is about to
+	// call Lock and When is when it began waiting (the matching non-Wait
+	// event arrives once the lock is held). Observers tracking lock
+	// *ownership* must ignore Wait events.
+	Wait bool
 }
 
 // TxObserver receives the collector's raw per-event feed — the hook the
@@ -108,6 +118,47 @@ type TextReporter interface {
 	WriteText(w io.Writer)
 }
 
+// OpEvent is the full payload of one completed critical section — the
+// sealing record of an attempt chain. It carries every Outcome facet the
+// scheme reported plus the chain's start time, so an observer can account
+// the section's whole retry history without tracking scheme internals.
+type OpEvent struct {
+	// Start is the proc's virtual time entering Critical (the chain's first
+	// cycle); When is the time the section completed (the chain's last).
+	Start, When uint64
+	// Tid is the executing proc.
+	Tid int
+	// Spec is true when the section committed speculatively.
+	Spec bool
+	// Attempts counts executions of the body (speculative and not); Aborts
+	// counts the failed speculative ones.
+	Attempts, Aborts int
+	// AuxUsed / AuxDwell describe the SCM serializing path: whether it was
+	// entered and for how many cycles auxiliary locks were held.
+	AuxUsed  bool
+	AuxDwell uint64
+	// Forfeited / ForfeitEntered / ForfeitExited are the adaptive-policy
+	// facets: ran inside a forfeit window / opened one / closed one.
+	Forfeited, ForfeitEntered, ForfeitExited bool
+	// ExhaustedClass names the abort class whose budget ran out ("" unless
+	// ForfeitEntered).
+	ExhaustedClass string
+}
+
+// AttemptObserver is an optional extension of TxObserver for observers that
+// need attempt-start events (the flight recorder): ObserveTxBegin is called
+// when a transactional attempt begins, before any of its commits or aborts.
+type AttemptObserver interface {
+	ObserveTxBegin(when uint64, tid int)
+}
+
+// OpDetailObserver is an optional extension of TxObserver: ObserveOpDetail
+// is called after ObserveOp with the section's full payload, sealing the
+// attempt chain the preceding events belong to.
+type OpDetailObserver interface {
+	ObserveOpDetail(ev OpEvent)
+}
+
 // Collector bundles the observability sinks one instrumented run feeds: the
 // registry, the conflict hot-line profiler and the windowed time series.
 // A nil *Collector is a valid no-op sink, mirroring *trace.Tracer, so the
@@ -123,6 +174,11 @@ type Collector struct {
 	base Labels
 	// obsv, when non-nil, receives the raw event feed.
 	obsv TxObserver
+	// attObsv / opObsv cache the observer's optional extensions, resolved
+	// once at SetObserver so the hot path pays a nil check, not a type
+	// assertion.
+	attObsv AttemptObserver
+	opObsv  OpDetailObserver
 	// lockLines is retained so an observer attached late still learns them.
 	lockLines []int
 
@@ -181,15 +237,36 @@ func (c *Collector) BaseLabels() Labels {
 	return c.base
 }
 
-// SetObserver attaches a raw-event observer (nil detaches). If the run's
-// lock lines are already known they are replayed to the new observer.
+// SetObserver attaches a raw-event observer (nil detaches), replacing any
+// previous one. If the run's lock lines are already known they are replayed
+// to the new observer.
 func (c *Collector) SetObserver(o TxObserver) {
 	if c == nil {
 		return
 	}
 	c.obsv = o
+	c.attObsv, _ = o.(AttemptObserver)
+	c.opObsv, _ = o.(OpDetailObserver)
 	if o != nil && c.lockLines != nil {
 		o.ObserveLockLines(c.lockLines)
+	}
+}
+
+// AddObserver attaches o alongside any existing observer: the first
+// attachment behaves like SetObserver, later ones fan the feed out through a
+// Tee — so the causality engine and the flight recorder can share one
+// collector. Nil receivers and observers are no-ops.
+func (c *Collector) AddObserver(o TxObserver) {
+	if c == nil || o == nil {
+		return
+	}
+	switch cur := c.obsv.(type) {
+	case nil:
+		c.SetObserver(o)
+	case Tee:
+		c.SetObserver(append(cur, o))
+	default:
+		c.SetObserver(Tee{cur, o})
 	}
 }
 
@@ -211,6 +288,16 @@ func (c *Collector) SetLockLines(lines []int) {
 	if c.obsv != nil {
 		c.obsv.ObserveLockLines(lines)
 	}
+}
+
+// TxBegin records proc tid starting a transactional attempt at virtual time
+// when (XBEGIN retirement). Only AttemptObserver extensions see it; the
+// counted feed is unchanged. Safe on a nil receiver.
+func (c *Collector) TxBegin(when uint64, tid int) {
+	if c == nil || c.attObsv == nil {
+		return
+	}
+	c.attObsv.ObserveTxBegin(when, tid)
 }
 
 // TxCommit records proc tid's transactional commit at virtual time when,
@@ -245,6 +332,25 @@ func (c *Collector) TxAbort(ev AbortEvent) {
 	if c.obsv != nil {
 		c.obsv.ObserveAbort(ev)
 	}
+}
+
+// LockWaiting records proc tid starting a blocking main-lock acquisition
+// (the wait begins; LockAcquired follows once the lock is held). Safe on a
+// nil receiver.
+func (c *Collector) LockWaiting(when uint64, tid int) {
+	if c == nil || c.obsv == nil {
+		return
+	}
+	c.obsv.ObserveLock(LockEvent{When: when, Tid: tid, Wait: true})
+}
+
+// AuxWaiting records proc tid starting a blocking auxiliary-lock
+// acquisition. Safe on a nil receiver.
+func (c *Collector) AuxWaiting(when uint64, tid int) {
+	if c == nil || c.obsv == nil {
+		return
+	}
+	c.obsv.ObserveLock(LockEvent{When: when, Tid: tid, Aux: true, Wait: true})
 }
 
 // LockAcquired records proc tid's non-speculative main-lock acquisition.
@@ -311,6 +417,16 @@ func (c *Collector) Op(when uint64, tid int, spec bool, latency uint64, retries 
 	if c.obsv != nil {
 		c.obsv.ObserveOp(when, tid, spec, auxUsed)
 	}
+}
+
+// OpDetail seals one completed critical section's attempt chain with its
+// full payload. Only OpDetailObserver extensions see it; the counted feed
+// already got the section through Op. Safe on a nil receiver.
+func (c *Collector) OpDetail(ev OpEvent) {
+	if c == nil || c.opObsv == nil {
+		return
+	}
+	c.opObsv.ObserveOpDetail(ev)
 }
 
 // AdaptiveOp records the adaptive-policy facets of one completed critical

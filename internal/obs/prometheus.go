@@ -29,6 +29,15 @@ var promHelp = map[string]string{
 	MetricRetries:    "Extra attempts per completed critical section.",
 	MetricAuxEntries: "SCM serializing-path entries.",
 	MetricAuxDwell:   "Cycles spent holding an SCM auxiliary lock.",
+	// Flight-recorder families (obs/flight; literals to keep obs below
+	// flight in the import order).
+	"flight_chains_total":           "Completed attempt chains by path.",
+	"flight_chain_cycles":           "Cycles-to-commit per attempt chain by path.",
+	"flight_chain_attempts":         "Attempts per chain (chain-length distribution).",
+	"flight_cycles_total":           "Chain cycle partition by accounting bucket.",
+	"flight_aborts_total":           "Aborted attempts by adaptive abort class.",
+	"flight_events_total":           "Flight-recorder events recorded.",
+	"flight_chains_truncated_total": "Chains whose raw events were dropped past the retention cap.",
 }
 
 var promNameSan = regexp.MustCompile(`[^a-zA-Z0-9_:]`)

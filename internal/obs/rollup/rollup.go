@@ -151,7 +151,16 @@ func (c *Campaign) AddRun(col *obs.Collector) {
 			card.AbortsByCause[ls.Get("cause")] += uint64(m.Value)
 		}
 	}
-	if eng, ok := col.Observer().(*causality.Engine); ok && eng != nil {
+	// The collector may carry several observers behind a Tee (causality
+	// engine + flight recorder); find the engine wherever it sits.
+	var eng *causality.Engine
+	for _, o := range obs.Observers(col.Observer()) {
+		if e, ok := o.(*causality.Engine); ok {
+			eng = e
+			break
+		}
+	}
+	if eng != nil {
 		rep := eng.Report()
 		card.CausalRuns = 1
 		card.Epochs = len(rep.Epochs)

@@ -178,3 +178,59 @@ func TestRollupHotLinesMerged(t *testing.T) {
 		t.Fatal("absent key should report nil hot lines")
 	}
 }
+
+// TestRollupEmptyShard: a campaign that received no runs — the fold of an
+// empty fleet shard — must still render valid, lintable artifacts instead of
+// panicking or emitting malformed exposition.
+func TestRollupEmptyShard(t *testing.T) {
+	c := New()
+	if c.Runs() != 0 {
+		t.Fatalf("fresh campaign reports %d runs", c.Runs())
+	}
+	if keys := c.Keys(); len(keys) != 0 {
+		t.Fatalf("empty campaign has keys %v", keys)
+	}
+	if card := c.Cell(Key{Scheme: "hle", Lock: "mcs"}); card.Runs != 0 {
+		t.Fatalf("absent cell scorecard non-zero: %+v", card)
+	}
+	var text, prom bytes.Buffer
+	c.WriteText(&text)
+	c.WritePrometheus(&prom)
+	if err := obs.LintPrometheus(bytes.NewReader(prom.Bytes())); err != nil {
+		t.Fatalf("empty exposition does not lint: %v\n%s", err, prom.String())
+	}
+}
+
+// TestRollupSingleJobCampaign: a one-run campaign's cell must reproduce that
+// run's own registry tallies exactly — folding one shard is the identity.
+func TestRollupSingleJobCampaign(t *testing.T) {
+	col := synthRun("opt-slr", "mcs", 9)
+	c := New()
+	c.AddRun(col)
+	if c.Runs() != 1 {
+		t.Fatalf("Runs = %d, want 1", c.Runs())
+	}
+	keys := c.Keys()
+	if len(keys) != 1 || keys[0] != (Key{Scheme: "opt-slr", Lock: "mcs"}) {
+		t.Fatalf("Keys = %v, want exactly the fed cell", keys)
+	}
+	card := c.Cell(keys[0])
+	labels := col.BaseLabels()
+	if want := col.Reg.Counter(obs.MetricCommits, labels).Value(); card.Commits != want {
+		t.Fatalf("Commits = %d, want the single run's %d", card.Commits, want)
+	}
+	if card.Runs != 1 || card.CausalRuns != 1 {
+		t.Fatalf("Runs/CausalRuns = %d/%d, want 1/1", card.Runs, card.CausalRuns)
+	}
+	if got, want := c.HotLines(keys[0]).Total(), col.Hot.Total(); got != want {
+		t.Fatalf("hot-line total = %d, want %d", got, want)
+	}
+	var prom bytes.Buffer
+	c.WritePrometheus(&prom)
+	if err := obs.LintPrometheus(bytes.NewReader(prom.Bytes())); err != nil {
+		t.Fatalf("single-run exposition does not lint: %v", err)
+	}
+	if !strings.Contains(prom.String(), `campaign_runs_total{scheme="opt-slr",lock="mcs"} 1`) {
+		t.Errorf("exposition lacks the single-run cell counter:\n%s", prom.String())
+	}
+}

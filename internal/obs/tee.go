@@ -1,0 +1,103 @@
+package obs
+
+import "io"
+
+// Tee fans the collector's raw event feed out to several observers in
+// order, so independent analyses (the abort-causality engine, the flight
+// recorder) can share one instrumented run. It implements every optional
+// observer extension, forwarding each event only to the members that
+// implement the matching interface; Collector.AddObserver builds Tees
+// automatically.
+type Tee []TxObserver
+
+var (
+	_ TxObserver       = Tee(nil)
+	_ AttemptObserver  = Tee(nil)
+	_ OpDetailObserver = Tee(nil)
+	_ TextReporter     = Tee(nil)
+)
+
+// ObserveCommit implements TxObserver.
+func (t Tee) ObserveCommit(when uint64, tid int) {
+	for _, o := range t {
+		o.ObserveCommit(when, tid)
+	}
+}
+
+// ObserveAbort implements TxObserver.
+func (t Tee) ObserveAbort(ev AbortEvent) {
+	for _, o := range t {
+		o.ObserveAbort(ev)
+	}
+}
+
+// ObserveLock implements TxObserver.
+func (t Tee) ObserveLock(ev LockEvent) {
+	for _, o := range t {
+		o.ObserveLock(ev)
+	}
+}
+
+// ObserveOp implements TxObserver.
+func (t Tee) ObserveOp(when uint64, tid int, spec, auxUsed bool) {
+	for _, o := range t {
+		o.ObserveOp(when, tid, spec, auxUsed)
+	}
+}
+
+// ObserveLockLines implements TxObserver.
+func (t Tee) ObserveLockLines(lines []int) {
+	for _, o := range t {
+		o.ObserveLockLines(lines)
+	}
+}
+
+// ObserveFinish implements TxObserver.
+func (t Tee) ObserveFinish(totalCycles uint64) {
+	for _, o := range t {
+		o.ObserveFinish(totalCycles)
+	}
+}
+
+// ObserveTxBegin implements AttemptObserver for the members that do.
+func (t Tee) ObserveTxBegin(when uint64, tid int) {
+	for _, o := range t {
+		if a, ok := o.(AttemptObserver); ok {
+			a.ObserveTxBegin(when, tid)
+		}
+	}
+}
+
+// ObserveOpDetail implements OpDetailObserver for the members that do.
+func (t Tee) ObserveOpDetail(ev OpEvent) {
+	for _, o := range t {
+		if d, ok := o.(OpDetailObserver); ok {
+			d.ObserveOpDetail(ev)
+		}
+	}
+}
+
+// WriteText implements TextReporter: each reporting member appends its
+// section in attachment order.
+func (t Tee) WriteText(w io.Writer) {
+	for _, o := range t {
+		if tr, ok := o.(TextReporter); ok {
+			tr.WriteText(w)
+		}
+	}
+}
+
+// Observers flattens an attached observer into its member list: a Tee
+// yields its members, a single observer yields itself, nil yields nil —
+// the lookup helper for code locating a specific analysis on a shared
+// collector (e.g. rollup finding the causality engine).
+func Observers(o TxObserver) []TxObserver {
+	switch v := o.(type) {
+	case nil:
+		return nil
+	case Tee:
+		return v
+	default:
+		return []TxObserver{o}
+	}
+}

@@ -1,0 +1,38 @@
+package tuner
+
+import (
+	"elision/internal/harness"
+	"elision/internal/obs/rollup"
+)
+
+// ObservedRollup re-runs the search's headline points — the tuned winner plus
+// every fixed-policy baseline, over the same seed spread at the final
+// budget — with full observability attached (collector, abort-causality
+// engine, flight recorder) and folds them into a campaign rollup. The search
+// itself stays unobserved; this is the post-hoc pass behind cmd/tune -prom.
+// Folding is order-independent, so the rollup's artifacts are byte-identical
+// at any worker count.
+func ObservedRollup(cfg Config, res Result) *rollup.Campaign {
+	cfg = cfg.withDefaults()
+	var cfgs []harness.DSConfig
+	add := func(scheme harness.SchemeID, acfg string) {
+		for s := 0; s < cfg.Seeds; s++ {
+			pt := cfg.Workload
+			pt.Scheme, pt.ACfg = scheme, acfg
+			pt.BudgetCycles = cfg.FinalBudget
+			pt.SlotCycles = 0
+			pt.Seed += uint64(s)
+			cfgs = append(cfgs, pt)
+		}
+	}
+	add(cfg.Scheme, res.Winner.Config)
+	for _, s := range baselineSchemes {
+		add(s, "")
+	}
+	r := harness.NewRunner()
+	r.Workers, r.Shards = cfg.Fleet.Workers, cfg.Fleet.Shards
+	r.Flight = true
+	ru := rollup.New()
+	r.RunAllRollup(cfgs, ru)
+	return ru
+}
