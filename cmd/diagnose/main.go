@@ -35,7 +35,8 @@ func knownSchemes() []string {
 		out = append(out, string(s))
 	}
 	return append(out, string(harness.SchemeHLESCMGrouped), string(harness.SchemeSLRSCMGrouped),
-		string(harness.SchemeAdaptiveHLE), string(harness.SchemeAdaptiveSLR))
+		string(harness.SchemeAdaptiveHLE), string(harness.SchemeAdaptiveSLR),
+		string(harness.SchemeLazySub))
 }
 
 func knownLocks() []string {

@@ -31,6 +31,7 @@ var knownSchemes = []string{
 	core.SchemeNameHLERetries, core.SchemeNameHLESCM, core.SchemeNameOptSLR,
 	core.SchemeNameSLRSCM, core.SchemeNameHLESCMGrouped, core.SchemeNameSLRSCMGrouped,
 	core.SchemeNameAdaptiveHLE, core.SchemeNameAdaptiveSLR,
+	core.SchemeNameLazySub,
 }
 
 var knownLocks = []string{
@@ -66,7 +67,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("elide", flag.ContinueOnError)
 	threads := fs.Int("threads", 8, "simulated hardware threads")
-	schemeName := fs.String("scheme", "hle", "scheme: standard|hle|hle-retries|hle-scm|opt-slr|slr-scm|hle-scm-grouped|slr-scm-grouped|adaptive-hle|adaptive-slr|nolock")
+	schemeName := fs.String("scheme", "hle", "scheme: standard|hle|hle-retries|hle-scm|opt-slr|slr-scm|hle-scm-grouped|slr-scm-grouped|adaptive-hle|adaptive-slr|lazysub|nolock")
 	lockName := fs.String("lock", "ttas", "lock: ttas|ttas-backoff|mcs|ticket-hle|clh-hle")
 	adaptive := fs.String("adaptive", "", "adaptive-family config, retry/forfeit per abort class as conflict,busy,capacity,other (e.g. 5/2,16/5,0/8,3/3); requires -scheme adaptive-hle|adaptive-slr")
 	structure := fs.String("structure", "rbtree", "data structure: rbtree|hashtable")
@@ -82,6 +83,7 @@ func run(args []string) error {
 	hotLines := fs.Int("hot-lines", 0, "print the top-N conflict hot lines")
 	causal := fs.Bool("causality", false, "attach the abort-causality engine: print the speculation-health scorecard and add cascade flow arrows to -trace-json")
 	flightOn := fs.Bool("flight", false, "attach the flight recorder: print the attempt-chain summary (cycles-to-commit percentiles, cycle partition) and fold flight_* families into -metrics")
+	hwfix := fs.Bool("hwfix", false, "arm the lazy-subscription hardware fix (htm aborts dangerous actions in unsubscribed transactions); only lazysub behaves differently")
 	j := fs.Int("j", 0, "accepted for cmd-tool uniformity; a single point always runs on one worker")
 	shards := fs.Int("shards", 0, "accepted for cmd-tool uniformity; a single point always runs on one worker")
 	if err := fs.Parse(args); err != nil {
@@ -136,6 +138,7 @@ func run(args []string) error {
 		Seed:         *seed,
 		Quantum:      *quantum,
 		ACfg:         *adaptive,
+		HWFix:        *hwfix,
 	}
 	if *smt {
 		cfg.Cores = 4

@@ -89,6 +89,7 @@ func run(args []string, stdout io.Writer) error {
 	j := fs.Int("j", 0, "parallel fleet workers (0 = all host CPUs)")
 	shards := fs.Int("shards", 0, "fleet work-stealing shards (0 = one per worker)")
 	repro := fs.String("repro", "", "replay one reproducer string instead of running a campaign")
+	hwfix := fs.Bool("hwfix", false, "arm the lazy-subscription hardware fix (abort on dangerous action while unsubscribed) on every case, including -repro replays")
 	prom := fs.String("prom", "", "write the campaign's per-combo tallies as a Prometheus exposition here")
 	fleetTrace := fs.String("fleet-trace", "", "write the fleet's self-profile as a Perfetto/Chrome trace here")
 	if err := fs.Parse(args); err != nil {
@@ -108,7 +109,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if *repro != "" {
-		return replay(*repro, *shrink, stdout)
+		return replay(*repro, *shrink, *hwfix, stdout)
 	}
 	schemeList := splitList(*schemes)
 	lockList := splitList(*locksCSV)
@@ -126,6 +127,7 @@ func run(args []string, stdout io.Writer) error {
 		SeedBase: *seedBase,
 		Seeds:    *seeds,
 		Shrink:   *shrink,
+		HWFix:    *hwfix,
 		Workers:  fc.Workers,
 		Shards:   fc.Shards,
 		Profile:  prof,
@@ -144,12 +146,15 @@ func run(args []string, stdout io.Writer) error {
 		sum = modelcheck.RunCampaign(cfg)
 	} else {
 		sum = modelcheck.Summary{SchemaVersion: modelcheck.SummarySchemaVersion,
-			SeedBase: *seedBase, Failures: []modelcheck.Failure{}}
+			SeedBase: *seedBase, Verdict: "ok", Failures: []modelcheck.Failure{}}
 	}
 
 	var mutantErr error
 	if *withMutants || *quick {
 		sum.Mutants, mutantErr = modelcheck.RunMutants(mutants.All(), *seedBase, *shrink)
+		if mutantErr != nil {
+			sum.Verdict = "fail"
+		}
 	}
 
 	if err := writeSummary(sum, runCampaign, *jsonOut, stdout); err != nil {
@@ -188,18 +193,26 @@ func run(args []string, stdout io.Writer) error {
 	if mutantErr != nil {
 		return mutantErr
 	}
-	if sum.TotalViolations > 0 {
+	// The campaign gate is the verdict, not the raw violation count: an
+	// expected-fail scheme (lazysub without -hwfix) is green exactly when
+	// its documented violations showed up and nothing else did.
+	if sum.Verdict != "ok" {
 		return errFailed
 	}
 	return nil
 }
 
 // replay parses and re-runs a single reproducer string, resolving mutant
-// builders through the registry.
-func replay(repro string, shrink bool, stdout io.Writer) error {
+// builders through the registry. hwfix arms the hardware fix on top of
+// whatever the string encodes, so one committed exhibit demonstrates both
+// the break (exit 1) and the repair (exit 0) without editing the string.
+func replay(repro string, shrink, hwfix bool, stdout io.Writer) error {
 	c, err := modelcheck.ParseRepro(repro)
 	if err != nil {
 		return err
+	}
+	if hwfix {
+		c.HWFix = true
 	}
 	var build modelcheck.SchemeBuilder
 	if c.Mutant != "" {
@@ -223,7 +236,11 @@ func replay(repro string, shrink bool, stdout io.Writer) error {
 		return nil
 	}
 	for _, v := range r.Violations {
-		fmt.Fprintf(stdout, "FAIL %s: %s\n", v.Oracle, v.Detail)
+		note := ""
+		if v.Expected {
+			note = " (expected for this scheme)"
+		}
+		fmt.Fprintf(stdout, "FAIL %s%s: %s\n", v.Oracle, note, v.Detail)
 	}
 	return errFailed
 }
@@ -251,18 +268,34 @@ func writeSummary(sum modelcheck.Summary, ranCampaign bool, jsonOut string, stdo
 
 func writeText(sum modelcheck.Summary, ranCampaign bool, w io.Writer) {
 	if ranCampaign {
-		fmt.Fprintf(w, "modelcheck: %d cases over %d combos (seed base %d): %d violation(s)\n",
-			sum.TotalCases, len(sum.Combos), sum.SeedBase, sum.TotalViolations)
+		fmt.Fprintf(w, "modelcheck: %d cases over %d combos (seed base %d): %d violation(s), %d expected, %d unexpected — verdict %s\n",
+			sum.TotalCases, len(sum.Combos), sum.SeedBase, sum.TotalViolations,
+			sum.TotalExpected, sum.TotalUnexpected, sum.Verdict)
 		for _, cb := range sum.Combos {
 			status := "ok"
-			if cb.Violations > 0 {
-				status = fmt.Sprintf("%d VIOLATION(S)", cb.Violations)
+			switch {
+			case cb.Violations > cb.ExpectedViolations:
+				status = fmt.Sprintf("%d VIOLATION(S)", cb.Violations-cb.ExpectedViolations)
+			case cb.Violations > 0:
+				status = fmt.Sprintf("%d expected violation(s)", cb.Violations)
 			}
 			fmt.Fprintf(w, "  %-16s %-13s cases=%-3d ops=%-6d spec=%-6d fallbacks=%-5d aborts=%-6d deadlocks=%d  %s\n",
 				cb.Scheme, cb.Lock, cb.Cases, cb.Ops, cb.SpecOps, cb.Fallbacks, cb.Aborts, cb.Deadlocks, status)
 		}
+		for _, e := range sum.Expectations {
+			status := "MET"
+			if !e.Met {
+				status = "UNMET (the adversary has gone quiet)"
+			}
+			fmt.Fprintf(w, "  expectation %-10s violates {%s}: demonstrated %d  %s\n",
+				e.Scheme, strings.Join(e.Oracles, ", "), e.Demonstrated, status)
+		}
 		for _, f := range sum.Failures {
-			fmt.Fprintf(w, "  FAIL %s: %s\n", f.Oracle, f.Detail)
+			label := "FAIL"
+			if f.Expected {
+				label = "expected-fail"
+			}
+			fmt.Fprintf(w, "  %s %s: %s\n", label, f.Oracle, f.Detail)
 			if f.ShrunkRepro != "" {
 				fmt.Fprintf(w, "       shrunk: %s\n", f.ShrunkRepro)
 			}

@@ -32,8 +32,16 @@ func TestQuickGate(t *testing.T) {
 	if sum.SchemaVersion != modelcheck.SummarySchemaVersion {
 		t.Fatalf("schema_version = %d, want %d", sum.SchemaVersion, modelcheck.SummarySchemaVersion)
 	}
-	if sum.TotalViolations != 0 {
-		t.Fatalf("quick campaign found %d violations: %+v", sum.TotalViolations, sum.Failures)
+	if sum.TotalUnexpected != 0 {
+		t.Fatalf("quick campaign found %d unexpected violations: %+v", sum.TotalUnexpected, sum.Failures)
+	}
+	if sum.Verdict != "ok" {
+		t.Fatalf("quick campaign verdict %q, want ok", sum.Verdict)
+	}
+	// The quick grid includes lazysub, whose expected-fail contract must be
+	// demonstrated even under the 2-seed budget.
+	if len(sum.Expectations) != 1 || sum.Expectations[0].Scheme != "lazysub" || !sum.Expectations[0].Met {
+		t.Fatalf("lazysub expectation not met under the quick gate: %+v", sum.Expectations)
 	}
 	if len(sum.Mutants) != len(mutants.All()) {
 		t.Fatalf("quick gate ran %d mutants, registry has %d", len(sum.Mutants), len(mutants.All()))
@@ -122,6 +130,83 @@ func TestCampaignJSONWorkerInvariance(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("-j 1 and -j 8 produced different JSON summaries")
+	}
+}
+
+// TestLazySubCampaignWorkerInvariance: the expected-fail campaign — with
+// shrinking on, so the JSON embeds every shrunk exhibit reproducer — must
+// still be byte-identical at -j 1 and -j 4. Shrinking runs on the workers,
+// which makes this the strongest determinism claim in the suite: not just
+// the tallies but the minimized artifacts are worker-count-invariant.
+func TestLazySubCampaignWorkerInvariance(t *testing.T) {
+	base := []string{"-seeds", "4", "-schemes", "lazysub", "-shrink", "-json", "-"}
+	var a, b bytes.Buffer
+	if err := run(append([]string{"-j", "1"}, base...), &a); err != nil {
+		t.Fatalf("lazysub campaign at -j 1: %v\n%s", err, a.String())
+	}
+	if err := run(append([]string{"-j", "4"}, base...), &b); err != nil {
+		t.Fatalf("lazysub campaign at -j 4: %v\n%s", err, b.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("-j 1 and -j 4 produced different lazysub JSON summaries")
+	}
+	var sum modelcheck.Summary
+	if err := json.Unmarshal(a.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Verdict != "ok" || sum.TotalExpected == 0 || sum.TotalUnexpected != 0 {
+		t.Fatalf("lazysub campaign gate broken: verdict=%q expected=%d unexpected=%d",
+			sum.Verdict, sum.TotalExpected, sum.TotalUnexpected)
+	}
+	for _, f := range sum.Failures {
+		if f.ShrunkRepro == "" {
+			t.Errorf("failure %s has no shrunk repro", f.Repro)
+		}
+	}
+}
+
+// TestExhibitReplayBreakAndFix replays the committed exhibits through the
+// CLI exactly as CI's lazysub job does: without -hwfix each reproducer must
+// FAIL with its recorded oracle (exit 1), and with -hwfix the identical
+// string must PASS (exit 0).
+func TestExhibitReplayBreakAndFix(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "internal", "modelcheck", "testdata", "lazysub_exhibits.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		oracle, repro, ok := strings.Cut(line, "\t")
+		if !ok {
+			t.Fatalf("malformed exhibit line %q", line)
+		}
+		replayed++
+
+		var out bytes.Buffer
+		err := run([]string{"-repro", repro}, &out)
+		if !errors.Is(err, errFailed) {
+			t.Fatalf("%s: replay without fix returned %v, want errFailed\n%s", repro, err, out.String())
+		}
+		if !strings.Contains(out.String(), oracle) {
+			t.Errorf("%s: output does not name oracle %s:\n%s", repro, oracle, out.String())
+		}
+		if !strings.Contains(out.String(), "expected for this scheme") {
+			t.Errorf("%s: output does not mark the violation as expected:\n%s", repro, out.String())
+		}
+
+		out.Reset()
+		if err := run([]string{"-repro", repro, "-hwfix"}, &out); err != nil {
+			t.Fatalf("%s: replay with -hwfix returned %v, want PASS\n%s", repro, err, out.String())
+		}
+		if !strings.Contains(out.String(), "PASS") {
+			t.Errorf("%s: -hwfix replay did not report PASS:\n%s", repro, out.String())
+		}
+	}
+	if replayed == 0 {
+		t.Fatal("no exhibits replayed")
 	}
 }
 

@@ -68,6 +68,12 @@ func ClassifyAbort(st htm.Status) AbortClass {
 			return ClassBusy
 		}
 		return ClassOther
+	case htm.CauseDangerous:
+		// The lazy-subscription fix's abort. Not ClassBusy: under the fix
+		// the abort recurs on every attempt regardless of lock state, so
+		// waiting for the holder buys nothing — let the other-class budget
+		// (usually small) route the thread to the fallback quickly.
+		return ClassOther
 	default:
 		return ClassOther
 	}

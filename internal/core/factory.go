@@ -32,6 +32,12 @@ const (
 	// (*Adaptive).SetConfig.
 	SchemeNameAdaptiveHLE = "adaptive-hle"
 	SchemeNameAdaptiveSLR = "adaptive-slr"
+	// LazySub: the deliberately unsafe lazy-subscription adversary
+	// (commit-time lock check through a non-transactional escape; see
+	// lazysub.go). Kept out of the benchmark roster's §7 ordering — it
+	// exists to be broken by the modelcheck expected-fail campaign and
+	// repaired by htm's AbortOnDangerousWhileUnsubscribed.
+	SchemeNameLazySub = "lazysub"
 )
 
 // AdaptiveSchemeName reports whether name belongs to the adaptive family.
@@ -87,6 +93,8 @@ func BuildScheme(hm *htm.Memory, name string, l locks.Elidable, procs int) (Sche
 		return NewAdaptive(hm, l, AdaptiveOverHLE, procs), nil
 	case SchemeNameAdaptiveSLR:
 		return NewAdaptive(hm, l, AdaptiveOverSLR, procs), nil
+	case SchemeNameLazySub:
+		return NewLazySub(hm, l), nil
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %q", name)
 	}

@@ -53,6 +53,12 @@ const (
 	// per point via DSConfig.ACfg.
 	SchemeAdaptiveHLE SchemeID = "adaptive-hle"
 	SchemeAdaptiveSLR SchemeID = "adaptive-slr"
+	// SchemeLazySub is the deliberately unsafe lazy-subscription scheme
+	// (core.LazySub): SLR with an escaped, non-subscribing commit-time lock
+	// check. It exists as the modelcheck adversary and is excluded from
+	// AllSchemes (figures measure correct schemes); pair it with
+	// DSConfig.HWFix to benchmark the hardware fix's cost.
+	SchemeLazySub SchemeID = "lazysub"
 )
 
 // AllSchemes is §7's evaluation order.
@@ -120,6 +126,11 @@ type DSConfig struct {
 	// default config. Ignored by non-adaptive schemes; kept a string so
 	// DSConfig stays comparable for memoization.
 	ACfg string
+	// HWFix arms htm.Config.AbortOnDangerousWhileUnsubscribed for the point:
+	// the lazy-subscription hardware fix. Only lazysub behaves differently
+	// under it (its speculative attempts abort and the lock path carries the
+	// load); correct schemes never take a dangerous action.
+	HWFix bool
 }
 
 // Slot is one time-slot sample for Figure 3.

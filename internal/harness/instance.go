@@ -157,7 +157,7 @@ func (in *Instance) prefill(cfg DSConfig, ds dataStructure, domain uint64) {
 // reset-instead-of-rebuild.
 func (in *Instance) RunObserved(cfg DSConfig, col *obs.Collector, tr *trace.Tracer) Result {
 	simCfg := sim.Config{Procs: cfg.Threads, Seed: cfg.Seed, Quantum: cfg.Quantum, Cores: cfg.Cores}
-	memCfg := htm.Config{Words: memoryWords(cfg)}
+	memCfg := htm.Config{Words: memoryWords(cfg), AbortOnDangerousWhileUnsubscribed: cfg.HWFix}
 	if in.m == nil {
 		in.m = sim.MustNew(simCfg)
 		in.hm = htm.NewMemory(in.m, memCfg)
@@ -201,6 +201,7 @@ func (in *Instance) RunObserved(cfg DSConfig, col *obs.Collector, tr *trace.Trac
 		lockLines = lr.LockLines()
 	}
 	col.SetLockLines(lockLines)
+	hm.SetSubscriptionLines(lockLines)
 
 	var stats core.Stats
 	var slots []Slot

@@ -62,6 +62,13 @@ const (
 	// CauseHLEMismatch means an XRELEASE store did not restore the elided
 	// lock to its original value.
 	CauseHLEMismatch
+	// CauseDangerous is the lazy-subscription hardware fix (Dice et al.,
+	// arXiv 1407.6968): with Config.AbortOnDangerousWhileUnsubscribed set,
+	// a transaction that performs a dangerous action — a non-transactional
+	// escape, a write to a line the fallback holder has read, or a commit
+	// while the fallback lock is held — before subscribing to the lock
+	// aborts with this cause.
+	CauseDangerous
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -81,13 +88,15 @@ func (c Cause) String() string {
 		return "interrupt"
 	case CauseHLEMismatch:
 		return "hle-mismatch"
+	case CauseDangerous:
+		return "dangerous"
 	default:
 		return fmt.Sprintf("cause(%d)", int(c))
 	}
 }
 
 // NumCauses is the number of distinct Cause values (for stats arrays).
-const NumCauses = 7
+const NumCauses = 8
 
 // Status is the result of one transactional attempt — the analogue of the
 // EAX abort-status register an RTM fallback path inspects, extended with
@@ -150,6 +159,17 @@ type Config struct {
 	// Policy is the tx-vs-tx conflict-resolution policy (default
 	// RequestorWins, as on Haswell).
 	Policy Policy
+	// AbortOnDangerousWhileUnsubscribed enables the lazy-subscription
+	// hardware extension of Dice/Harris/Kogan/Lev/Moir (arXiv 1407.6968):
+	// the memory tracks, per transaction, whether the transaction has
+	// subscribed to the fallback lock (read one of the lines registered via
+	// SetSubscriptionLines transactionally), and aborts it with
+	// CauseDangerous when it attempts a dangerous action while
+	// unsubscribed. Dangerous actions are (a) entering a non-transactional
+	// escape region (Tx.Escaped), (b) writing a line the current fallback
+	// holder has read non-transactionally, and (c) committing while the
+	// fallback lock is held by another thread.
+	AbortOnDangerousWhileUnsubscribed bool
 }
 
 // Memory is simulated transactional shared memory for one machine.
@@ -167,6 +187,20 @@ type Memory struct {
 	policy   Policy
 	tracer   *trace.Tracer  // nil when tracing is off
 	col      *obs.Collector // nil when observability is off
+
+	// Subscription-state machinery for the lazy-subscription hardware fix.
+	// subLines holds the fallback lock's lines (SetSubscriptionLines);
+	// subTracking is true once any line is registered, letting the common
+	// path skip the check with one branch. fbHolder is the proc currently
+	// holding the fallback lock non-speculatively (TraceLock/TraceUnlock),
+	// or -1; holderReads accumulates the lines that holder has read
+	// non-transactionally during the current hold, the footprint a
+	// dangerous write is checked against.
+	fixDangerous bool
+	subTracking  bool
+	subLines     lineSet
+	fbHolder     int
+	holderReads  lineSet
 }
 
 // lineMeta is the per-cache-line state. readers/writer track transactional
@@ -208,14 +242,16 @@ func NewMemory(m *sim.Machine, cfg Config) *Memory {
 		meta[i].owner = -1
 	}
 	return &Memory{
-		store:    store,
-		meta:     meta,
-		cur:      make([]*Tx, m.Procs()),
-		txs:      make([]Tx, m.Procs()),
-		cost:     cost,
-		maxRead:  maxRead,
-		maxWrite: maxWrite,
-		policy:   cfg.Policy,
+		store:        store,
+		meta:         meta,
+		cur:          make([]*Tx, m.Procs()),
+		txs:          make([]Tx, m.Procs()),
+		cost:         cost,
+		maxRead:      maxRead,
+		maxWrite:     maxWrite,
+		policy:       cfg.Policy,
+		fixDangerous: cfg.AbortOnDangerousWhileUnsubscribed,
+		fbHolder:     -1,
 	}
 }
 
@@ -254,6 +290,11 @@ func (m *Memory) Reset(mach *sim.Machine, cfg Config) {
 	}
 	m.tracer = nil
 	m.col = nil
+	m.fixDangerous = cfg.AbortOnDangerousWhileUnsubscribed
+	m.subTracking = false
+	m.subLines.clear()
+	m.fbHolder = -1
+	m.holderReads.clear()
 }
 
 // Store exposes the raw word store (for setup code and allocators).
@@ -293,12 +334,18 @@ func (m *Memory) TraceAuxWait(p *sim.Proc) {
 // this on their fallback paths so timelines show lemming triggers and the
 // causality engine can tie cascades to the acquire that rooted them.
 func (m *Memory) TraceLock(p *sim.Proc) {
+	m.fbHolder = p.ID()
+	if m.fixDangerous {
+		m.holderReads.grow(m.store.Lines())
+		m.holderReads.clear()
+	}
 	m.tracer.Emit(p.Clock(), p.ID(), trace.LockAcquire, 0)
 	m.col.LockAcquired(p.Clock(), p.ID())
 }
 
 // TraceUnlock records the matching release.
 func (m *Memory) TraceUnlock(p *sim.Proc) {
+	m.fbHolder = -1
 	m.tracer.Emit(p.Clock(), p.ID(), trace.LockRelease, 0)
 	m.col.LockReleased(p.Clock(), p.ID())
 }
@@ -316,6 +363,32 @@ func (m *Memory) TraceAuxUnlock(p *sim.Proc) {
 	m.tracer.Emit(p.Clock(), p.ID(), trace.AuxRelease, 0)
 	m.col.AuxReleased(p.Clock(), p.ID())
 }
+
+// SetSubscriptionLines registers the fallback lock's cache lines for
+// subscription tracking: a transaction counts as "subscribed" once it has
+// read any registered line transactionally (plain Load, HLE ElideRMW, or a
+// commit-time HeldTx check all qualify — what matters is that the line is
+// in the read set, so the holder's acquiring store dooms the transaction).
+// Registering an empty slice disables tracking. The registration survives
+// until the next SetSubscriptionLines or Reset.
+func (m *Memory) SetSubscriptionLines(lines []int) {
+	m.subLines.grow(m.store.Lines())
+	m.subLines.clear()
+	for _, l := range lines {
+		if !m.subLines.has(l) {
+			m.subLines.add(l)
+		}
+	}
+	m.subTracking = m.subLines.size() > 0
+}
+
+// DangerousFixEnabled reports whether AbortOnDangerousWhileUnsubscribed is
+// active on this memory.
+func (m *Memory) DangerousFixEnabled() bool { return m.fixDangerous }
+
+// FallbackHolder returns the proc id currently holding the fallback lock
+// non-speculatively (as reported by TraceLock/TraceUnlock), or -1.
+func (m *Memory) FallbackHolder() int { return m.fbHolder }
 
 // Cost returns the memory's cost model.
 func (m *Memory) Cost() sim.CostModel { return m.cost }
@@ -373,6 +446,14 @@ func (m *Memory) LoadNT(p *sim.Proc, a mem.Addr) int64 {
 	m.assertNotInTx(p)
 	m.chargeRead(p, mem.LineOf(a))
 	m.doomForRead(p, mem.LineOf(a))
+	if m.fixDangerous && p.ID() == m.fbHolder {
+		// The dangerous-action fix needs the holder's read footprint: a
+		// plain load leaves no conflict-metadata trace (only stores doom),
+		// which is exactly the asymmetry lazy subscription exploits.
+		if l := mem.LineOf(a); !m.holderReads.has(l) {
+			m.holderReads.add(l)
+		}
+	}
 	return m.store.Load(a)
 }
 

@@ -1,0 +1,275 @@
+package htm
+
+import (
+	"testing"
+
+	"elision/internal/mem"
+	"elision/internal/sim"
+)
+
+// These tests pin the subscription-state machine behind
+// Config.AbortOnDangerousWhileUnsubscribed: a transaction is "subscribed"
+// once it has transactionally read any registered lock line, and while
+// UNsubscribed three actions are dangerous — (a) entering an escape region,
+// (b) writing a line the fallback holder read non-transactionally, and
+// (c) committing while a fallback holder is active. With the fix off every
+// one of them is permitted (that permissiveness is what lazy subscription
+// exploits); with it on each aborts with CauseDangerous and no retry hint.
+
+// subMachine builds a 2-proc machine with one registered lock line and one
+// data line, returning the machine, memory and the two addresses.
+func subMachine(t *testing.T, fix bool) (*sim.Machine, *Memory, mem.Addr, mem.Addr) {
+	t.Helper()
+	m := sim.MustNew(sim.Config{Procs: 2, Seed: 7})
+	hm := NewMemory(m, Config{Words: 1 << 14, Cost: testCost(), AbortOnDangerousWhileUnsubscribed: fix})
+	lockA := hm.Store().AllocLines(1)
+	data := hm.Store().AllocLines(1)
+	hm.SetSubscriptionLines([]int{mem.LineOf(lockA)})
+	return m, hm, lockA, data
+}
+
+// TestSubscriptionStateMachine drives the per-attempt subscription flag
+// through every transition the schemes exercise, with and without the fix.
+func TestSubscriptionStateMachine(t *testing.T) {
+	tests := []struct {
+		name string
+		fix  bool
+		// body runs inside one transaction attempt; holder reports whether a
+		// fallback holder is active for the attempt (TraceLock'd by proc 1).
+		holder bool
+		body   func(t *testing.T, tx *Tx, lockA, data mem.Addr)
+		// wantCommit / wantCause describe the attempt's outcome.
+		wantCommit bool
+		wantCause  Cause
+	}{
+		{
+			name: "escape-unsubscribed-allowed-without-fix",
+			fix:  false,
+			body: func(t *testing.T, tx *Tx, lockA, data mem.Addr) {
+				if tx.Subscribed() {
+					t.Error("fresh transaction starts subscribed")
+				}
+				var peek int64
+				tx.Escaped(func() { peek = tx.Load(lockA) })
+				_ = peek
+				if tx.Subscribed() {
+					t.Error("escaped read must NOT subscribe — that is the whole bug")
+				}
+			},
+			wantCommit: true,
+		},
+		{
+			name: "escape-unsubscribed-dangerous-with-fix",
+			fix:  true,
+			body: func(t *testing.T, tx *Tx, lockA, data mem.Addr) {
+				tx.Escaped(func() { tx.Load(lockA) })
+				t.Error("unreachable: escape while unsubscribed must abort under the fix")
+			},
+			wantCommit: false,
+			wantCause:  CauseDangerous,
+		},
+		{
+			name: "escape-after-subscribe-allowed-with-fix",
+			fix:  true,
+			body: func(t *testing.T, tx *Tx, lockA, data mem.Addr) {
+				tx.Load(lockA) // transactional read of the lock line: subscribes
+				if !tx.Subscribed() {
+					t.Error("transactional lock read did not subscribe")
+				}
+				tx.Escaped(func() { tx.Load(data) })
+			},
+			wantCommit: true,
+		},
+		{
+			name: "data-reads-do-not-subscribe",
+			fix:  false,
+			body: func(t *testing.T, tx *Tx, lockA, data mem.Addr) {
+				tx.Load(data)
+				tx.Store(data, 1)
+				if tx.Subscribed() {
+					t.Error("reads of unregistered lines must not subscribe")
+				}
+			},
+			wantCommit: true,
+		},
+		{
+			name:   "commit-unsubscribed-while-held-allowed-without-fix",
+			fix:    false,
+			holder: true,
+			body: func(t *testing.T, tx *Tx, lockA, data mem.Addr) {
+				tx.Store(data, 42) // never looks at the lock
+			},
+			wantCommit: true, // the unsafe commit lazysub exploits
+		},
+		{
+			name:   "commit-unsubscribed-while-held-dangerous-with-fix",
+			fix:    true,
+			holder: true,
+			body: func(t *testing.T, tx *Tx, lockA, data mem.Addr) {
+				tx.Store(data, 42)
+			},
+			wantCommit: false,
+			wantCause:  CauseDangerous,
+		},
+		{
+			name:   "commit-subscribed-while-held-is-ordinary-conflict-territory",
+			fix:    true,
+			holder: true,
+			body: func(t *testing.T, tx *Tx, lockA, data mem.Addr) {
+				tx.Load(lockA) // subscribed: the fix has nothing to say
+				tx.Store(data, 42)
+			},
+			// Subscribed, so the dangerous-commit check passes; nothing
+			// conflicts on the lock line in this choreography, so it commits.
+			wantCommit: true,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m, hm, lockA, data := subMachine(t, tc.fix)
+			if hm.DangerousFixEnabled() != tc.fix {
+				t.Fatal("fix flag did not reach the memory")
+			}
+			if tc.holder {
+				m.Go(func(p *sim.Proc) {
+					hm.TraceLock(p)
+					if hm.FallbackHolder() != p.ID() {
+						t.Error("TraceLock did not record the fallback holder")
+					}
+					p.Advance(5_000) // hold across the other proc's attempt
+					hm.TraceUnlock(p)
+					if hm.FallbackHolder() != -1 {
+						t.Error("TraceUnlock did not clear the fallback holder")
+					}
+				})
+			} else {
+				m.Go(func(p *sim.Proc) { p.Advance(1) })
+			}
+			m.Go(func(p *sim.Proc) {
+				p.Advance(100) // let the holder (if any) acquire first
+				st := hm.Atomic(p, func(tx *Tx) { tc.body(t, tx, lockA, data) })
+				if st.Committed != tc.wantCommit {
+					t.Errorf("committed=%v, want %v (status %+v)", st.Committed, tc.wantCommit, st)
+				}
+				if !tc.wantCommit {
+					if st.Cause != tc.wantCause {
+						t.Errorf("cause=%v, want %v", st.Cause, tc.wantCause)
+					}
+					if st.Cause == CauseDangerous && st.Retry {
+						t.Error("dangerous abort must clear the retry hint")
+					}
+				}
+			})
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSubscriptionResetsPerAttempt: subscription is a property of one
+// transaction attempt, not of the proc — an abort discards it, and the next
+// attempt starts unsubscribed. This is the "subscribe on final retry" edge:
+// a scheme cannot bank an earlier attempt's subscription.
+func TestSubscriptionResetsPerAttempt(t *testing.T) {
+	m, hm, lockA, _ := subMachine(t, false)
+	m.Go(func(p *sim.Proc) { p.Advance(1) })
+	m.Go(func(p *sim.Proc) {
+		attempt := 0
+		st := hm.Atomic(p, func(tx *Tx) {
+			attempt++
+			if attempt == 1 {
+				tx.Load(lockA)
+				if !tx.Subscribed() {
+					t.Error("attempt 1: lock read did not subscribe")
+				}
+				tx.Abort(9)
+			}
+			// Attempt 2 never touches the lock line.
+			if tx.Subscribed() {
+				t.Error("attempt 2: subscription leaked across the abort")
+			}
+		})
+		// Atomic does not auto-retry explicit aborts at this layer; the first
+		// status is the explicit abort.
+		if st.Committed || st.Cause != CauseExplicit || st.Code != 9 {
+			t.Fatalf("status %+v, want explicit abort code 9", st)
+		}
+		st = hm.Atomic(p, func(tx *Tx) {
+			attempt++
+			if tx.Subscribed() {
+				t.Error("fresh attempt inherited a subscription")
+			}
+		})
+		if !st.Committed {
+			t.Fatalf("second attempt failed: %+v", st)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDangerousWriteToHolderReadLine: while a fallback holder is active, a
+// line it read non-transactionally is part of its critical section's
+// footprint; an unsubscribed transaction writing that line is rewriting
+// state under the holder's feet. The fix aborts the write at the write.
+func TestDangerousWriteToHolderReadLine(t *testing.T) {
+	for _, fix := range []bool{false, true} {
+		m, hm, _, data := subMachine(t, fix)
+		m.Go(func(p *sim.Proc) {
+			hm.TraceLock(p)
+			hm.LoadNT(p, data) // the holder's read, tracked only under the fix
+			p.Advance(5_000)
+			hm.TraceUnlock(p)
+		})
+		m.Go(func(p *sim.Proc) {
+			p.Advance(200)
+			aborted := false
+			st := hm.Atomic(p, func(tx *Tx) {
+				tx.Store(data, 7)
+				if fix {
+					t.Error("unreachable: write to a holder-read line must abort under the fix")
+				}
+			})
+			aborted = !st.Committed
+			if fix {
+				if !aborted || st.Cause != CauseDangerous {
+					t.Errorf("fix=%v: status %+v, want dangerous abort", fix, st)
+				}
+			} else if aborted {
+				t.Errorf("fix=%v: status %+v, want commit", fix, st)
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSubscriptionLinesReset: SetSubscriptionLines replaces the watched
+// set, and an empty set disables tracking entirely (no scheme registered a
+// lock — nothing can subscribe, and without the fix nothing cares).
+func TestSubscriptionLinesReset(t *testing.T) {
+	m, hm, lockA, data := subMachine(t, false)
+	hm.SetSubscriptionLines([]int{mem.LineOf(data)}) // re-register: data is now "the lock"
+	m.Go(func(p *sim.Proc) { p.Advance(1) })
+	m.Go(func(p *sim.Proc) {
+		st := hm.Atomic(p, func(tx *Tx) {
+			tx.Load(lockA)
+			if tx.Subscribed() {
+				t.Error("old lock line still subscribes after re-registration")
+			}
+			tx.Load(data)
+			if !tx.Subscribed() {
+				t.Error("re-registered line does not subscribe")
+			}
+		})
+		if !st.Committed {
+			t.Fatalf("attempt failed: %+v", st)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -78,6 +78,15 @@ type Tx struct {
 	doomNT   bool
 	doomWhen uint64
 	depth    int // flat nesting depth beyond the outermost Atomic
+
+	// subscribed is set once the transaction has read a registered
+	// fallback-lock line transactionally (Memory.SetSubscriptionLines) —
+	// the hardware notion of lock subscription from the lazy-subscription
+	// fix. escaped marks an active non-transactional escape region
+	// (Tx.Escaped): loads inside it bypass the write buffer, elision
+	// illusions and the read set.
+	subscribed bool
+	escaped    bool
 }
 
 // elideEntry tracks one XACQUIRE-elided location: the original memory value
@@ -118,6 +127,8 @@ func (tx *Tx) reset(p *sim.Proc, m *Memory) {
 	tx.doomLine, tx.doomTid = -1, -1
 	tx.doomNT, tx.doomWhen = false, 0
 	tx.depth = 0
+	tx.subscribed = false
+	tx.escaped = false
 }
 
 // txAbortPanic unwinds the transaction body back to Atomic.
@@ -126,10 +137,12 @@ type txAbortPanic struct {
 }
 
 // abortNow unwinds with the given cause. Retryability follows TSX: capacity
-// and HLE-restore aborts will fail again if simply retried.
+// and HLE-restore aborts will fail again if simply retried, and a
+// dangerous-action abort recurs deterministically as long as the scheme
+// keeps subscribing lazily.
 func (tx *Tx) abortNow(cause Cause, code int) {
 	retry := true
-	if cause == CauseCapacity || cause == CauseHLEMismatch {
+	if cause == CauseCapacity || cause == CauseHLEMismatch || cause == CauseDangerous {
 		retry = false
 	}
 	st := Status{Cause: cause, Code: code, Retry: retry, ConflictLine: -1, ConflictTid: -1}
@@ -184,6 +197,11 @@ func (tx *Tx) Proc() *sim.Proc { return tx.p }
 // addRead registers line l in the read set, applying the conflict policy to
 // any conflicting writer and the capacity limit to ourselves.
 func (tx *Tx) addRead(l int) {
+	if tx.m.subTracking && !tx.subscribed && tx.m.subLines.has(l) {
+		// Reading a fallback-lock line transactionally IS subscription:
+		// from here on the holder's acquiring store dooms this transaction.
+		tx.subscribed = true
+	}
 	lm := &tx.m.meta[l]
 	if lm.writer >= 0 && int(lm.writer) != tx.p.ID() {
 		if tx.m.policy == CommitterWins && !tx.m.cur[lm.writer].doomed {
@@ -205,6 +223,14 @@ func (tx *Tx) addRead(l int) {
 // addWrite registers line l in the write set, resolving conflicts with all
 // other readers and writers of the line per the policy.
 func (tx *Tx) addWrite(l int) {
+	if tx.m.fixDangerous && !tx.subscribed && tx.m.fbHolder >= 0 &&
+		tx.m.fbHolder != tx.p.ID() && tx.m.holderReads.has(l) {
+		// Dangerous action (b): writing a line the fallback holder has read.
+		// The holder will not see our buffered write doom anything — plain
+		// reads leave no conflict trace — so an unsubscribed commit could
+		// mutate the holder's footprint mid-critical-section.
+		tx.abortNow(CauseDangerous, 0)
+	}
 	lm := &tx.m.meta[l]
 	if tx.m.policy == CommitterWins {
 		// Abort ourselves if any live transactional owner exists.
@@ -247,6 +273,14 @@ func (tx *Tx) addWrite(l int) {
 func (tx *Tx) Load(a mem.Addr) int64 {
 	tx.m.chargeRead(tx.p, mem.LineOf(a))
 	tx.step()
+	if tx.escaped {
+		// Escape read: globally committed memory, no read-set entry. Like
+		// any coherency read it dooms a conflicting transactional writer,
+		// but nothing records that WE read the line — a store to it later
+		// cannot doom us. That missing trace is the lazy-subscription hole.
+		tx.m.doomForRead(tx.p, mem.LineOf(a))
+		return tx.m.store.Load(a)
+	}
 	if len(tx.writeBuf) != 0 {
 		if v, ok := tx.writeBuf[a]; ok {
 			return v
@@ -263,6 +297,9 @@ func (tx *Tx) Load(a mem.Addr) int64 {
 
 // Store performs a transactional (buffered) store.
 func (tx *Tx) Store(a mem.Addr, v int64) {
+	if tx.escaped {
+		panic("htm: stores inside an escape region are not modeled")
+	}
 	tx.m.chargeWrite(tx.p, mem.LineOf(a))
 	tx.step()
 	if len(tx.elided) != 0 && tx.elideAt(a) != nil {
@@ -304,6 +341,34 @@ func (tx *Tx) FetchAdd(a mem.Addr, delta int64) int64 {
 // Abort is XABORT: the transaction aborts itself with a software code.
 func (tx *Tx) Abort(code int) {
 	tx.abortNow(CauseExplicit, code)
+}
+
+// Subscribed reports whether this transaction has subscribed to the
+// fallback lock (read a line registered via Memory.SetSubscriptionLines
+// transactionally). Always false when no lines are registered.
+func (tx *Tx) Subscribed() bool { return tx.subscribed }
+
+// Escaped runs f as a non-transactional escape region: loads issued
+// through tx.Load inside f read globally committed memory directly,
+// bypassing the write buffer, elision illusions and — crucially — the read
+// set, so they leave no trace in the transaction's conflict footprint.
+// This models the suspend/resume or non-transactional-load facility a lazy
+// subscription implementation would use to peek at the fallback lock
+// without putting it in the read set. Stores inside f are not modeled.
+//
+// Under AbortOnDangerousWhileUnsubscribed, entering an escape region while
+// unsubscribed is dangerous action (a) and aborts with CauseDangerous:
+// the hardware cannot tell a benign peek from one whose result guards a
+// commit decision, so it forbids the whole class (arXiv 1407.6968, §5).
+func (tx *Tx) Escaped(f func()) {
+	tx.step()
+	if tx.m.fixDangerous && !tx.subscribed {
+		tx.abortNow(CauseDangerous, 0)
+	}
+	prev := tx.escaped
+	tx.escaped = true
+	defer func() { tx.escaped = prev }()
+	f()
 }
 
 // Wait models spinning inside a transaction on a location whose value is
@@ -416,6 +481,15 @@ func (tx *Tx) commit() Status {
 	tx.p.Advance(tx.m.cost.TxCommit)
 	if tx.doomed {
 		tx.abortNow(CauseConflict, 0)
+	}
+	if tx.m.fixDangerous && !tx.subscribed && tx.m.fbHolder >= 0 &&
+		tx.m.fbHolder != tx.p.ID() {
+		// Dangerous action (c): committing while the fallback lock is held
+		// by another thread without ever having subscribed. A subscribed
+		// transaction cannot reach this point (the holder's acquiring store
+		// doomed it above); an unsubscribed one must be stopped here or its
+		// writes publish into the middle of the holder's critical section.
+		tx.abortNow(CauseDangerous, 0)
 	}
 	// HLE restore rule: every elided location must hold its original value
 	// at commit (the XRELEASE already happened or nothing changed).

@@ -3,6 +3,7 @@ package modelcheck
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +31,11 @@ type CampaignConfig struct {
 	Workers int
 	// Shards is the fleet work-stealing shard count (0 = one per worker).
 	Shards int
+	// HWFix arms htm's AbortOnDangerousWhileUnsubscribed on every generated
+	// case (Case.HWFix): the campaign that demonstrates the lazy-
+	// subscription fix. Under it lazysub carries the ordinary must-pass
+	// profile — zero violations expected, none tolerated.
+	HWFix bool
 	// Progress, when non-nil, receives fleet-level completion counts for the
 	// pinned-seed pass (time-boxed rounds report per round).
 	Progress func(done, total int)
@@ -45,37 +51,90 @@ type ComboSummary struct {
 	Lock       string `json:"lock"`
 	Cases      int    `json:"cases"`
 	Violations int    `json:"violations"`
-	Ops        uint64 `json:"ops"`
-	SpecOps    uint64 `json:"spec_ops"`
-	Fallbacks  uint64 `json:"fallbacks"`
-	Aborts     uint64 `json:"aborts"`
-	Deadlocks  int    `json:"deadlocks"`
+	// ExpectedViolations counts the subset of Violations covered by the
+	// scheme's expected-fail profile (lazysub's documented unsafety
+	// demonstrating itself). Zero — and omitted — for every safe scheme.
+	ExpectedViolations int    `json:"expected_violations,omitempty"`
+	Ops                uint64 `json:"ops"`
+	SpecOps            uint64 `json:"spec_ops"`
+	Fallbacks          uint64 `json:"fallbacks"`
+	Aborts             uint64 `json:"aborts"`
+	Deadlocks          int    `json:"deadlocks"`
 }
 
 // Failure is one reported violation with its replay handles.
 type Failure struct {
-	Repro       string `json:"repro"`
-	Oracle      string `json:"oracle"`
-	Detail      string `json:"detail"`
+	Repro  string `json:"repro"`
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+	// Expected is true when every violation of the case was covered by the
+	// scheme's expected-fail profile — the failure is an exhibit, not a
+	// regression.
+	Expected    bool   `json:"expected,omitempty"`
 	ShrunkRepro string `json:"shrunk_repro,omitempty"`
+}
+
+// SchemeExpectation is the campaign-level contract of one expected-fail
+// scheme: the campaign must demonstrate at least one violation of the
+// scheme's expected oracles, or the scheme has quietly stopped being the
+// adversary it documents (Met == false reddens the campaign with
+// OracleExpectation semantics).
+type SchemeExpectation struct {
+	Scheme string `json:"scheme"`
+	// Oracles lists the expected-fail oracle names, in profile order.
+	Oracles []string `json:"oracles"`
+	// Demonstrated is the total expected violations found across the
+	// scheme's combos.
+	Demonstrated int  `json:"demonstrated"`
+	Met          bool `json:"met"`
 }
 
 // Summary is the campaign's machine-readable result. It contains no wall
 // times, so a pinned-seed campaign marshals byte-identically across runs
 // and hosts.
 type Summary struct {
-	SchemaVersion   int            `json:"schema_version"`
-	SeedBase        uint64         `json:"seed_base"`
-	SeedsPerCombo   int            `json:"seeds_per_combo"`
-	Combos          []ComboSummary `json:"combos"`
-	TotalCases      int            `json:"total_cases"`
-	TotalViolations int            `json:"total_violations"`
-	Failures        []Failure      `json:"failures"`
-	Mutants         []MutantResult `json:"mutants,omitempty"`
+	SchemaVersion int            `json:"schema_version"`
+	SeedBase      uint64         `json:"seed_base"`
+	SeedsPerCombo int            `json:"seeds_per_combo"`
+	HWFix         bool           `json:"hwfix,omitempty"`
+	Combos        []ComboSummary `json:"combos"`
+	TotalCases    int            `json:"total_cases"`
+	// TotalViolations counts every oracle violation;
+	// TotalExpected/TotalUnexpected partition it against the expected-fail
+	// profiles. The gate verdict keys on TotalUnexpected and Expectations,
+	// never on the raw total.
+	TotalViolations int                 `json:"total_violations"`
+	TotalExpected   int                 `json:"total_expected"`
+	TotalUnexpected int                 `json:"total_unexpected"`
+	Expectations    []SchemeExpectation `json:"expectations,omitempty"`
+	// Verdict is "ok" when the campaign passes its gate (see Ok), "fail"
+	// otherwise — the one field CI asserts on.
+	Verdict  string         `json:"verdict"`
+	Failures []Failure      `json:"failures"`
+	Mutants  []MutantResult `json:"mutants,omitempty"`
+}
+
+// Ok reports the campaign gate: no unexpected violation anywhere, and every
+// expected-fail scheme in the grid demonstrated at least one expected
+// violation. (A campaign with no expected-fail schemes degenerates to the
+// old "zero violations" gate.)
+func (s Summary) Ok() bool {
+	if s.TotalUnexpected > 0 {
+		return false
+	}
+	for _, e := range s.Expectations {
+		if !e.Met {
+			return false
+		}
+	}
+	return true
 }
 
 // SummarySchemaVersion is bumped on any incompatible Summary change.
-const SummarySchemaVersion = 1
+// Version 2 added the expected-fail partition (total_expected,
+// total_unexpected, expectations, verdict, per-combo expected_violations)
+// and the hwfix echo.
+const SummarySchemaVersion = 2
 
 // comboSeed decorrelates the seed streams of distinct combos: adjacent raw
 // seeds on the same combo stay adjacent (useful for -seed-base sweeps), but
@@ -120,6 +179,7 @@ func RunCampaign(cfg CampaignConfig) Summary {
 		SchemaVersion: SummarySchemaVersion,
 		SeedBase:      cfg.SeedBase,
 		SeedsPerCombo: seeds,
+		HWFix:         cfg.HWFix,
 		Combos:        make([]ComboSummary, len(grid)),
 		Failures:      []Failure{},
 	}
@@ -145,6 +205,7 @@ func RunCampaign(cfg CampaignConfig) Summary {
 			combo, i := j/n, j%n
 			g := grid[combo]
 			c := GenCase(g.scheme, g.lock, comboSeed(cfg.SeedBase, combo, round*n+i))
+			c.HWFix = cfg.HWFix
 			r := Run(c)
 
 			// Streaming fold: shrinking (the expensive part of a failing
@@ -152,12 +213,21 @@ func RunCampaign(cfg CampaignConfig) Summary {
 			var f *Failure
 			if len(r.Violations) > 0 {
 				f = &Failure{
-					Repro:  r.Case.Repro(),
-					Oracle: r.Violations[0].Oracle,
-					Detail: r.Violations[0].Detail,
+					Repro:    r.Case.Repro(),
+					Oracle:   r.Violations[0].Oracle,
+					Detail:   r.Violations[0].Detail,
+					Expected: r.Unexpected() == 0,
 				}
 				if cfg.Shrink {
-					f.ShrunkRepro = Shrink(r.Case, nil).Repro()
+					// Shrink toward whichever class makes the case
+					// reportable: an unexpected violation is a regression
+					// (keep it unexpected while minimizing), an all-expected
+					// case is an exhibit (keep the demonstration alive).
+					keep := func(rr Result) bool { return rr.Unexpected() > 0 }
+					if f.Expected {
+						keep = func(rr Result) bool { return rr.Expected() > 0 }
+					}
+					f.ShrunkRepro = ShrinkWhere(r.Case, nil, keep).Repro()
 				}
 				failures.Add(base+j, *f)
 			}
@@ -165,6 +235,7 @@ func RunCampaign(cfg CampaignConfig) Summary {
 			cs := &sum.Combos[combo]
 			cs.Cases++
 			cs.Violations += len(r.Violations)
+			cs.ExpectedViolations += r.Expected()
 			cs.Ops += r.Stats.Ops
 			cs.SpecOps += r.Stats.Spec
 			cs.Fallbacks += r.Stats.NonSpec
@@ -174,6 +245,8 @@ func RunCampaign(cfg CampaignConfig) Summary {
 			}
 			sum.TotalCases++
 			sum.TotalViolations += len(r.Violations)
+			sum.TotalExpected += r.Expected()
+			sum.TotalUnexpected += r.Unexpected()
 			foldMu.Unlock()
 		})
 		round++
@@ -183,6 +256,28 @@ func RunCampaign(cfg CampaignConfig) Summary {
 	}
 	if fs := failures.Sorted(); len(fs) > 0 {
 		sum.Failures = fs
+	}
+	// Resolve the grid's expected-fail contracts: a scheme carrying one must
+	// have demonstrated it somewhere in the grid, or the campaign fails even
+	// with zero violations — the adversary going quiet is a checker
+	// regression (see OracleExpectation).
+	for _, s := range schemes {
+		prof := profileFor(Case{Scheme: s, HWFix: cfg.HWFix}.withDefaults())
+		if len(prof.expectFail) == 0 {
+			continue
+		}
+		e := SchemeExpectation{Scheme: s, Oracles: append([]string(nil), prof.expectFail...)}
+		for ci, g := range grid {
+			if g.scheme == s {
+				e.Demonstrated += sum.Combos[ci].ExpectedViolations
+			}
+		}
+		e.Met = e.Demonstrated > 0
+		sum.Expectations = append(sum.Expectations, e)
+	}
+	sum.Verdict = "fail"
+	if sum.Ok() {
+		sum.Verdict = "ok"
 	}
 	return sum
 }
@@ -221,25 +316,47 @@ type MutantResult struct {
 // RunMutant fuzzes one mutant within its pinned seed budget, stopping at
 // the first catch. Seeds derive from seedBase exactly as a campaign combo's
 // do, so the budget is a regression-pinned property of the oracles.
+//
+// When the claimed profile is expected-fail (lazysub without the hardware
+// fix), catching inverts: any unexpected violation catches the mutant
+// immediately, and a mutant that burns the whole budget without a single
+// expected violation is caught by OracleExpectation — it has defused the
+// adversary (e.g. by subscribing eagerly), which the campaign gate must
+// notice. A mutant that keeps demonstrating the expected violations behaves
+// like the real scheme and escapes.
 func RunMutant(mut Mutant, seedBase uint64, shrink bool) MutantResult {
 	res := MutantResult{Name: mut.Name, SeedBudget: mut.SeedBudget}
+	prof := profileFor(Case{Scheme: mut.ProfileScheme}.withDefaults())
+	demonstrated := 0
 	for i := 0; i < mut.SeedBudget; i++ {
 		c := GenCase(mut.ProfileScheme, mut.Lock, comboSeed(seedBase, 0, i))
 		c.Mutant = mut.Name
 		res.SeedsTried = i + 1
 		r := RunWith(c, mut.Build)
-		if len(r.Violations) == 0 {
+		if r.Unexpected() == 0 {
+			demonstrated += r.Expected()
 			continue
 		}
 		res.Caught = true
-		res.Oracle = r.Violations[0].Oracle
-		res.Detail = r.Violations[0].Detail
+		for _, v := range r.Violations {
+			if !v.Expected {
+				res.Oracle = v.Oracle
+				res.Detail = v.Detail
+				break
+			}
+		}
 		repro := c
 		if shrink {
-			repro = Shrink(c, mut.Build)
+			repro = ShrinkWhere(c, mut.Build, func(rr Result) bool { return rr.Unexpected() > 0 })
 		}
 		res.Repro = repro.Repro()
 		return res
+	}
+	if len(prof.expectFail) > 0 && demonstrated == 0 {
+		res.Caught = true
+		res.Oracle = OracleExpectation
+		res.Detail = fmt.Sprintf("mutant claims scheme %q (expected to violate %s) but demonstrated no expected violation in %d seeds: the adversary has been defused",
+			mut.ProfileScheme, strings.Join(prof.expectFail, ", "), mut.SeedBudget)
 	}
 	return res
 }

@@ -82,6 +82,13 @@ type Case struct {
 	Quantum uint64
 	Cores   int
 	Jitter  uint64
+	// HWFix enables htm's AbortOnDangerousWhileUnsubscribed for the run —
+	// the lazy-subscription hardware fix. With it set, lazysub's oracle
+	// profile is the ordinary must-pass one (the fix makes the scheme
+	// safe); without it lazysub runs under the expected-fail profile.
+	// Serialized as "hwfix=1" in reproducer strings, omitted when false so
+	// pre-existing repro strings are unchanged.
+	HWFix bool
 }
 
 // withDefaults clamps a Case into the runnable envelope.
@@ -129,6 +136,9 @@ func (c Case) Repro() string {
 		c.Skew, c.MaxRetries, c.Quantum, c.Cores, c.Jitter)
 	if c.ACfg != "" {
 		fmt.Fprintf(&b, ";acfg=%s", c.ACfg)
+	}
+	if c.HWFix {
+		b.WriteString(";hwfix=1")
 	}
 	fmt.Fprintf(&b, ";seed=0x%x", c.Seed)
 	return b.String()
@@ -181,6 +191,10 @@ func ParseRepro(s string) (Case, error) {
 			c.Jitter, err = strconv.ParseUint(v, 10, 64)
 		case "acfg":
 			c.ACfg = v
+		case "hwfix":
+			var n int
+			n, err = strconv.Atoi(v)
+			c.HWFix = n != 0
 		case "seed":
 			c.Seed, err = strconv.ParseUint(strings.TrimPrefix(v, "0x"), 16, 64)
 		default:
@@ -261,6 +275,11 @@ func RealSchemes() []string {
 		"standard", "hle", "hle-retries", "hle-scm",
 		"opt-slr", "slr-scm", "hle-scm-grouped", "slr-scm-grouped",
 		"adaptive-hle", "adaptive-slr",
+		// lazysub is appended last so existing combos keep their grid index
+		// (comboSeed streams, and therefore every pinned case, survive the
+		// roster growth). It runs under the expected-fail profile unless
+		// Case.HWFix is set.
+		"lazysub",
 	}
 }
 

@@ -29,6 +29,49 @@ func FuzzSLRSafety(f *testing.F) {
 	})
 }
 
+// FuzzLazySubSafety drives the lazy-subscription adversary from both sides
+// of the hardware fix. Without the fix, lazysub is EXPECTED to violate
+// commit-safety (that is the scheme's documented point), so only violations
+// outside its expected-fail set fail the fuzz — an accounting bug or a
+// conservation break hiding behind the deliberate unsafety. With
+// AbortOnDangerousWhileUnsubscribed armed on the identical case, any
+// violation at all is a finding: the fix's claim is total. The seed corpus
+// includes the committed exhibits' seeds (testdata/lazysub_exhibits.txt) so
+// the search starts anchored in known-violating territory. Run with
+// `go test -fuzz FuzzLazySubSafety ./internal/modelcheck`.
+func FuzzLazySubSafety(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 42, 0xdead,
+		// seeds of the committed shrunk exhibits, one per lock
+		0x910a2dec89025cc3, 0xbeeb8da1658eec68, 0xf893a2eefb32555e,
+		0x71c18690ee42c90c, 0x71bb54d8d101b5b9,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		for _, lock := range []string{"ttas", "mcs"} {
+			c := GenCase("lazysub", lock, seed)
+			r := Run(c)
+			for _, v := range r.Violations {
+				if !v.Expected {
+					t.Errorf("%s: unexpected %s: %s", c.Repro(), v.Oracle, v.Detail)
+				}
+			}
+			if r.Deadlock {
+				t.Errorf("%s: deadlock", c.Repro())
+			}
+
+			c.HWFix = true
+			fr := Run(c)
+			for _, v := range fr.Violations {
+				t.Errorf("%s: with hardware fix: %s: %s", c.Repro(), v.Oracle, v.Detail)
+			}
+			if fr.Deadlock {
+				t.Errorf("%s: deadlock with hardware fix", c.Repro())
+			}
+		}
+	})
+}
+
 // FuzzSCMProgress drives the SCM serializing path: every aborted operation
 // must pass through an auxiliary lock (scm-structure oracle), abort counts
 // must respect the MaxRetries+1 bound, and no schedule may starve a thread

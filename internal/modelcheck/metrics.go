@@ -12,6 +12,8 @@ func (s Summary) Registry() *obs.Registry {
 	reg.Gauge("modelcheck_schema_version", nil).Set(int64(s.SchemaVersion))
 	reg.Counter("modelcheck_cases_total", nil).Add(uint64(s.TotalCases))
 	reg.Counter("modelcheck_violations_total", nil).Add(uint64(s.TotalViolations))
+	reg.Counter("modelcheck_expected_violations_total", nil).Add(uint64(s.TotalExpected))
+	reg.Counter("modelcheck_unexpected_violations_total", nil).Add(uint64(s.TotalUnexpected))
 	for _, cb := range s.Combos {
 		ls := obs.L("scheme", cb.Scheme, "lock", cb.Lock)
 		reg.Counter("modelcheck_combo_cases_total", ls).Add(uint64(cb.Cases))

@@ -87,10 +87,12 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 // TestPinnedCampaignClean is the PR-gate teeth of the whole subsystem: a
-// pinned-seed campaign over every real scheme x lock combination must
-// report zero violations. A failure here is either a scheme bug or an
-// oracle regression — both block merging, and the logged reproducer
-// replays the offending run deterministically.
+// pinned-seed campaign over every real scheme x lock combination must come
+// back with the "ok" verdict — zero unexpected violations, and the one
+// expected-fail scheme (lazysub) demonstrating its documented unsafety on
+// every lock. A failure here is a scheme bug, an oracle regression, or the
+// adversary going quiet — all three block merging, and the logged
+// reproducer replays the offending run deterministically.
 func TestPinnedCampaignClean(t *testing.T) {
 	sum := RunCampaign(CampaignConfig{SeedBase: 1, Seeds: 4, Workers: 8})
 	if want := len(RealSchemes()) * len(RealLocks()); len(sum.Combos) != want {
@@ -100,10 +102,58 @@ func TestPinnedCampaignClean(t *testing.T) {
 		t.Fatalf("campaign ran %d cases, expected %d", sum.TotalCases, len(sum.Combos)*4)
 	}
 	for _, f := range sum.Failures {
-		t.Errorf("oracle %s: %s", f.Oracle, f.Detail)
+		if !f.Expected {
+			t.Errorf("oracle %s: %s [repro %s]", f.Oracle, f.Detail, f.Repro)
+		}
+	}
+	if sum.TotalUnexpected != 0 {
+		t.Fatalf("pinned campaign found %d unexpected violations", sum.TotalUnexpected)
+	}
+	if len(sum.Expectations) != 1 || sum.Expectations[0].Scheme != "lazysub" {
+		t.Fatalf("expected exactly the lazysub expectation, got %+v", sum.Expectations)
+	}
+	if e := sum.Expectations[0]; !e.Met || e.Demonstrated == 0 {
+		t.Fatalf("lazysub failed to demonstrate its documented unsafety: %+v", e)
+	}
+	// The adversary must fire on every lock in the pinned budget, not just
+	// somewhere: the unsafe window is scheme-level, not lock-specific.
+	for _, cb := range sum.Combos {
+		if cb.Scheme == "lazysub" && cb.ExpectedViolations == 0 {
+			t.Errorf("lazysub/%s: no expected violation in the pinned budget", cb.Lock)
+		}
+		if cb.Scheme != "lazysub" && cb.ExpectedViolations != 0 {
+			t.Errorf("%s/%s: expected violations on a must-pass scheme", cb.Scheme, cb.Lock)
+		}
+	}
+	if sum.Verdict != "ok" {
+		t.Fatalf("verdict %q, want ok", sum.Verdict)
+	}
+	if sum.TotalViolations != sum.TotalExpected {
+		t.Fatalf("violation partition broken: total %d, expected %d, unexpected %d",
+			sum.TotalViolations, sum.TotalExpected, sum.TotalUnexpected)
+	}
+}
+
+// TestPinnedCampaignHWFixClean: the same pinned grid with the hardware fix
+// armed must be entirely clean — lazysub loses its expected-fail profile
+// (the fix makes it safe) and the campaign degenerates to the strict
+// zero-violation gate. This is the repair half of the break/fix pair.
+func TestPinnedCampaignHWFixClean(t *testing.T) {
+	sum := RunCampaign(CampaignConfig{SeedBase: 1, Seeds: 4, Workers: 8, HWFix: true})
+	for _, f := range sum.Failures {
+		t.Errorf("oracle %s: %s [repro %s]", f.Oracle, f.Detail, f.Repro)
 	}
 	if sum.TotalViolations != 0 {
-		t.Fatalf("pinned campaign found %d violations", sum.TotalViolations)
+		t.Fatalf("hwfix campaign found %d violations", sum.TotalViolations)
+	}
+	if len(sum.Expectations) != 0 {
+		t.Fatalf("hwfix campaign should carry no expected-fail contracts, got %+v", sum.Expectations)
+	}
+	if sum.Verdict != "ok" {
+		t.Fatalf("verdict %q, want ok", sum.Verdict)
+	}
+	if !sum.HWFix {
+		t.Fatal("summary does not echo the hwfix configuration")
 	}
 }
 

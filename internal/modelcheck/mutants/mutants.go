@@ -20,6 +20,13 @@
 //	                oracle's per-op ceiling (the config's summed budgets)
 //	                is exceeded as soon as contention persists past one
 //	                refill.
+//	lazysub-eager — the inverse teeth check: a "lazysub" that subscribes
+//	                eagerly (transactional commit-time check, SLR's
+//	                containment) and is therefore safe. Safe is exactly
+//	                wrong here — lazysub's expected-fail profile demands
+//	                demonstrated violations, so the expectation gate
+//	                (OracleExpectation) must flag the silence instead of
+//	                reading it as green.
 //
 // The package is build-tag-free: the mutants compile into every build and
 // the pinned-seed catch tests run in plain `go test`.
@@ -63,6 +70,13 @@ func All() []modelcheck.Mutant {
 			Lock:          core.LockNameTTAS,
 			SeedBudget:    8,
 			Build:         buildIgnoreForfeit,
+		},
+		{
+			Name:          "lazysub-eager",
+			ProfileScheme: core.SchemeNameLazySub,
+			Lock:          core.LockNameTTAS,
+			SeedBudget:    8,
+			Build:         buildEagerLazySub,
 		},
 	}
 }
@@ -261,6 +275,71 @@ func buildIgnoreForfeit(hm *htm.Memory, c modelcheck.Case) (core.Scheme, locks.E
 }
 
 func (s *ignoreForfeitAdaptive) Name() string { return "adaptive-ignore-forfeit" }
+
+// --- lazysub-eager -----------------------------------------------------------
+
+// eagerLazySub claims to be lazysub but subscribes eagerly: its commit-time
+// lock check is a transactional HeldTx (SLR's containment) instead of
+// lazysub's escaped peek, so a fallback acquisition dooms the transaction
+// and it can never commit into a live critical section. Safe — and safe is
+// exactly wrong for a scheme whose expected-fail profile demands
+// demonstrated commit-safety violations. RunMutant must catch the silence
+// with OracleExpectation after the full seed budget; if it ever stops
+// doing so, the campaign could no longer tell a repaired adversary from a
+// working one.
+type eagerLazySub struct {
+	m          *htm.Memory
+	l          locks.Lock
+	MaxRetries int
+}
+
+var _ core.Scheme = (*eagerLazySub)(nil)
+
+func buildEagerLazySub(hm *htm.Memory, c modelcheck.Case) (core.Scheme, locks.Elidable, error) {
+	l, err := core.BuildLock(hm, c.Lock, c.Threads)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &eagerLazySub{m: hm, l: l, MaxRetries: c.MaxRetries}, l, nil
+}
+
+func (s *eagerLazySub) Name() string { return "lazysub-eager" }
+
+func (s *eagerLazySub) Critical(p *sim.Proc, body func(c htm.Ctx)) core.Outcome {
+	var o core.Outcome
+	for tries := 0; tries < s.MaxRetries; tries++ {
+		o.Attempts++
+		st := s.m.Atomic(p, func(tx *htm.Tx) {
+			body(htm.Ctx{P: p, M: s.m})
+			// BUG (inverted): this read subscribes — the lock line enters
+			// the read set, closing the unsafe check-to-commit window that
+			// real lazysub leaves open.
+			if s.l.HeldTx(tx) {
+				tx.Abort(core.CodeLockBusy)
+			}
+		})
+		if st.Committed {
+			o.Speculative = true
+			return o
+		}
+		o.Aborts++
+		o.LastCause = st.Cause
+		if !st.Retry {
+			break
+		}
+		if st.Cause == htm.CauseExplicit && st.Code == core.CodeLockBusy {
+			s.l.WaitUntilFree(p)
+		}
+	}
+	o.Attempts++
+	s.m.TraceLockWait(p)
+	s.l.Lock(p)
+	s.m.TraceLock(p)
+	body(htm.Ctx{P: p, M: s.m})
+	s.l.Unlock(p)
+	s.m.TraceUnlock(p)
+	return o
+}
 
 func (s *ignoreForfeitAdaptive) Critical(p *sim.Proc, body func(c htm.Ctx)) core.Outcome {
 	var o core.Outcome

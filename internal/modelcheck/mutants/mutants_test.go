@@ -14,6 +14,7 @@ var wantOracle = map[string]string{
 	"scm-skip-aux":            modelcheck.OracleSCMStructure,
 	"unfair-ticket":           modelcheck.OracleProgress,
 	"adaptive-ignore-forfeit": modelcheck.OracleAbortBound,
+	"lazysub-eager":           modelcheck.OracleExpectation,
 }
 
 // TestMutantsCaughtWithinBudget is the checker's own regression gate:
@@ -40,8 +41,14 @@ func TestMutantsCaughtWithinBudget(t *testing.T) {
 			t.Errorf("mutant %s caught by oracle %q, designed to be caught by %q (%s)",
 				r.Name, r.Oracle, want, r.Detail)
 		}
-		if r.Repro == "" {
+		// An expectation-unmet catch has no failing case, hence no repro —
+		// the evidence is the absence of violations over the whole budget.
+		if r.Repro == "" && r.Oracle != modelcheck.OracleExpectation {
 			t.Errorf("mutant %s caught without a reproducer", r.Name)
+		}
+		if r.Oracle == modelcheck.OracleExpectation && r.SeedsTried != r.SeedBudget {
+			t.Errorf("mutant %s: expectation catch must burn the whole budget, tried %d of %d",
+				r.Name, r.SeedsTried, r.SeedBudget)
 		}
 	}
 }

@@ -27,6 +27,13 @@ const (
 	// forfeited (no speculation), the last one must close the window, and no
 	// acquisition outside a window may report Forfeited.
 	OracleForfeit = "forfeit-discipline"
+	// OracleExpectation is the pseudo-oracle reported when an expected-fail
+	// scheme (lazysub) never demonstrated any of its expected violations
+	// within a campaign's budget — the campaign-level red flag that keeps
+	// the expected-fail profile honest (a scheme that quietly became safe,
+	// like the lazysub-eager mutant, must not pass as "no news is good
+	// news").
+	OracleExpectation = "expectation-unmet"
 )
 
 // Violation is one oracle failure observed in a run.
@@ -35,6 +42,12 @@ type Violation struct {
 	Oracle string `json:"oracle"`
 	// Detail is the human-readable specifics, ending with the reproducer.
 	Detail string `json:"detail"`
+	// Expected is true when the run's scheme carries an expected-fail
+	// profile covering this oracle: the violation is the scheme's
+	// documented unsafety demonstrating itself (lazysub without the
+	// hardware fix), not a checker regression. Expected violations never
+	// redden a campaign; their ABSENCE does (OracleExpectation).
+	Expected bool `json:"expected,omitempty"`
 }
 
 // profile captures which per-scheme oracles apply to a run. The checker must
@@ -62,6 +75,33 @@ type profile struct {
 	// the forfeit-discipline oracle and generalizes abortBound from the flat
 	// MaxRetries to the config's summed per-class budgets.
 	adaptive *core.AdaptiveConfig
+	// expectFail lists the oracles this scheme is EXPECTED to violate (in
+	// deterministic order): the scheme is a documented adversary, and a
+	// campaign must find at least one such violation or go red with
+	// OracleExpectation. Violations of oracles outside this list are
+	// ordinary (unexpected) failures. Empty for every safe scheme.
+	expectFail []string
+}
+
+// expectsFail reports whether oracleName is in the profile's expected-fail
+// set.
+func (p profile) expectsFail(oracleName string) bool {
+	for _, o := range p.expectFail {
+		if o == oracleName {
+			return true
+		}
+	}
+	return false
+}
+
+// lazySubExpectedOracles are the invariants lazy subscription breaks: the
+// direct commit-while-held (commit-safety) and the downstream corruption it
+// causes (serializability of the observed histories and the containers'
+// final state). Deliberately tight — a lazysub violation of any OTHER
+// oracle (mutual exclusion, conservation, ...) is still a checker/scheme
+// regression and reddens the campaign.
+var lazySubExpectedOracles = []string{
+	OracleCommitSafety, OracleSerializability, OracleFinalState,
 }
 
 func unbounded(int) int { return -1 }
@@ -83,6 +123,17 @@ func profileFor(c Case) profile {
 		return profile{abortBound: func(mr int) int { return mr + 1 }, attemptsExact: true}
 	case core.SchemeNameOptSLR:
 		return profile{abortBound: func(mr int) int { return mr }, attemptsExact: true}
+	case core.SchemeNameLazySub:
+		// SLR's loop shape, so SLR's bounds — but without the hardware fix
+		// the scheme is the documented lazy-subscription adversary and its
+		// safety oracles are expected to fire. With Case.HWFix the
+		// dangerous-action extension repairs it and the profile is an
+		// ordinary must-pass one.
+		p := profile{abortBound: func(mr int) int { return mr }, attemptsExact: true}
+		if !c.HWFix {
+			p.expectFail = lazySubExpectedOracles
+		}
+		return p
 	case core.SchemeNameHLESCM, core.SchemeNameSLRSCM:
 		return profile{
 			auxOnAbort:    true,

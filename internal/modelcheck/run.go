@@ -33,6 +33,22 @@ type Result struct {
 	Stats core.Stats
 }
 
+// Expected counts the violations covered by the scheme's expected-fail
+// profile (lazysub demonstrating its documented unsafety).
+func (r Result) Expected() int {
+	n := 0
+	for _, v := range r.Violations {
+		if v.Expected {
+			n++
+		}
+	}
+	return n
+}
+
+// Unexpected counts the violations NOT covered by an expected-fail profile
+// — real failures that must redden a campaign.
+func (r Result) Unexpected() int { return len(r.Violations) - r.Expected() }
+
 // container is the common surface of the two data-structure benchmarks.
 type container interface {
 	Insert(ac htm.Accessor, key, val int64) bool
@@ -66,6 +82,8 @@ func applyMaxRetries(s core.Scheme, c Case) {
 			v.SpecRetries = c.MaxRetries
 		}
 	case *core.SLR:
+		v.MaxRetries = c.MaxRetries
+	case *core.LazySub:
 		v.MaxRetries = c.MaxRetries
 	case *core.SCM:
 		v.MaxRetries = c.MaxRetries
@@ -115,7 +133,10 @@ func RunWith(c Case, build SchemeBuilder) Result {
 		fail(OracleConfig, "sim config rejected: %v", err)
 		return res
 	}
-	hm := htm.NewMemory(m, htm.Config{Words: memWords})
+	hm := htm.NewMemory(m, htm.Config{
+		Words:                             memWords,
+		AbortOnDangerousWhileUnsubscribed: c.HWFix,
+	})
 	col := obs.NewCollector(c.Scheme, c.Lock, 0)
 	hm.SetCollector(col)
 	// MaxEdges must exceed any possible abort count so the exact
@@ -147,6 +168,10 @@ func RunWith(c Case, build SchemeBuilder) Result {
 	applyMaxRetries(scheme, c)
 	if lr, ok := mainLock.(locks.LineReporter); ok {
 		col.SetLockLines(lr.LockLines())
+		// Register the same lines as htm's subscription set: a transactional
+		// read of any of them is a lock subscription. Tracking is observation
+		// only unless c.HWFix armed the dangerous-action extension.
+		hm.SetSubscriptionLines(lr.LockLines())
 	}
 
 	// Containers and their initial population (even keys pre-inserted).
@@ -450,5 +475,13 @@ func RunWith(c Case, build SchemeBuilder) Result {
 
 	// Fold in the stream-order oracle's findings (already repro-annotated).
 	res.Violations = append(res.Violations, orc.violations...)
+	// Partition against the scheme's expected-fail profile: a violation the
+	// profile predicts is the adversary demonstrating itself, everything
+	// else is a real failure.
+	if len(prof.expectFail) > 0 {
+		for i := range res.Violations {
+			res.Violations[i].Expected = prof.expectsFail(res.Violations[i].Oracle)
+		}
+	}
 	return res
 }

@@ -12,9 +12,19 @@ import "elision/internal/core"
 // build mirrors RunWith's parameter: nil shrinks a real-scheme case, a
 // mutant's builder shrinks a mutant catch.
 func Shrink(c Case, build SchemeBuilder) Case {
+	return ShrinkWhere(c, build, func(r Result) bool { return len(r.Violations) > 0 })
+}
+
+// ShrinkWhere is Shrink with a caller-chosen failure predicate: a candidate
+// is kept only while keep(result) holds. Expected-fail schemes use it to
+// shrink an exhibit without letting the minimization wander onto a case
+// whose only violations are of a different class (e.g. from an expected
+// commit-safety demonstration to an unexpected accounting bug, or vice
+// versa).
+func ShrinkWhere(c Case, build SchemeBuilder, keep func(Result) bool) Case {
 	c = c.withDefaults()
 	stillFails := func(cand Case) bool {
-		return len(RunWith(cand, build).Violations) > 0
+		return keep(RunWith(cand, build))
 	}
 	if !stillFails(c) {
 		// Not reproducibly failing (should not happen for a Result with

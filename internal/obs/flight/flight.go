@@ -219,6 +219,11 @@ func classify(cause string, code int) core.AbortClass {
 			return core.ClassBusy
 		}
 		return core.ClassOther
+	case "dangerous":
+		// Lazy-subscription fix aborts (htm.CauseDangerous) bucket as
+		// "other", matching core.ClassifyAbort: they recur regardless of
+		// lock state, so they are not busy-class.
+		return core.ClassOther
 	default:
 		return core.ClassOther
 	}
